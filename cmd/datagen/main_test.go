@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dismastd"
+)
+
+func TestGenerateTextToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "book.tsv")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dataset", "book", "-nnz", "2000", "-seed", "7", "-o", out}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x, err := dismastd.ReadTensorText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() < 1800 || x.Order() != 3 {
+		t.Fatalf("generated tensor nnz=%d order=%d", x.NNZ(), x.Order())
+	}
+	if !strings.Contains(stderr.String(), "Book") {
+		t.Fatalf("stderr summary missing: %q", stderr.String())
+	}
+}
+
+func TestGenerateBinaryByExtension(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "net.bin")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dataset", "netflix", "-nnz", "1000", "-o", out}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := dismastd.ReadTensorBinary(f); err != nil {
+		t.Fatalf("binary read: %v", err)
+	}
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dataset", "synthetic", "-nnz", "500"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	x, err := dismastd.ReadTensorText(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() == 0 {
+		t.Fatal("no entries on stdout")
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for name, args := range map[string][]string{
+		"unknown dataset": {"-dataset", "nope"},
+		"bad nnz":         {"-nnz", "0"},
+		"bad format":      {"-format", "xml"},
+		"bad flag":        {"-bogus"},
+	} {
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}

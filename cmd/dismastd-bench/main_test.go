@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTables(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-exp", "table3", "-nnz", "3000", "-workers", "3"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Table III") || !strings.Contains(stdout.String(), "Synthetic") {
+		t.Fatalf("output:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	if err := run([]string{"-exp", "table4", "-nnz", "3000"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "GTP") || !strings.Contains(stdout.String(), "MTP") {
+		t.Fatalf("output:\n%s", stdout.String())
+	}
+}
+
+func TestFigureWithDatasetSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-exp", "fig7", "-nnz", "4000", "-rank", "3", "-iters", "2", "-workers", "4", "-datasets", "netflix"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Fig. 7") || !strings.Contains(out, "Netflix") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if strings.Contains(out, "Clothing") {
+		t.Fatalf("subset leaked other datasets:\n%s", out)
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for name, args := range map[string][]string{
+		"unknown experiment": {"-exp", "fig99"},
+		"unknown dataset":    {"-exp", "table3", "-datasets", "bogus"},
+	} {
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}

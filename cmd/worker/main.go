@@ -1,0 +1,162 @@
+// Command worker runs one rank of a real multi-process DisMASTD
+// cluster over TCP. Every worker process reads the same snapshot file
+// (and optional previous-state file), deterministically builds the same
+// distribution plan, joins the rendezvous to get its rank, and executes
+// the SPMD step; rank 0 writes the resulting state.
+//
+// Start a rendezvous, then the workers (typically from a script or
+// examples/multiprocess):
+//
+//	worker -serve 127.0.0.1:9000 -size 3
+//	worker -join 127.0.0.1:9000 -tensor snap.tsv -rank 10 -out state.gob   # x3
+//
+// A second round passes -prev state.gob and the next snapshot to
+// perform an incremental streaming step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dismastd/internal/cluster"
+	"dismastd/internal/core"
+	"dismastd/internal/dtd"
+	"dismastd/internal/partition"
+	"dismastd/internal/tensor"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	serve := fs.String("serve", "", "rendezvous mode: listen address (e.g. 127.0.0.1:9000)")
+	size := fs.Int("size", 0, "rendezvous mode: cluster size")
+	join := fs.String("join", "", "worker mode: rendezvous address to join")
+	listen := fs.String("listen", "127.0.0.1:0", "worker mode: this rank's listen address")
+	tensorPath := fs.String("tensor", "", "worker mode: snapshot tensor file (text or .bin/.gob)")
+	prevPath := fs.String("prev", "", "worker mode: previous state file (empty = decompose from scratch)")
+	outPath := fs.String("out", "", "worker mode: where rank 0 writes the resulting state")
+	rank := fs.Int("rank", 10, "CP rank R")
+	iters := fs.Int("iters", 10, "maximum ALS sweeps")
+	mu := fs.Float64("mu", 0.8, "forgetting factor")
+	method := fs.String("method", "mtp", "partitioning heuristic: gtp or mtp")
+	seed := fs.Uint64("seed", 1, "initialisation seed")
+	timeout := fs.Duration("timeout", 2*time.Minute, "join and receive timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *serve != "":
+		if *size <= 0 {
+			return fmt.Errorf("-serve requires -size")
+		}
+		rv, err := cluster.NewRendezvous(*serve, *size)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "worker: rendezvous on %s for %d ranks\n", rv.Addr(), *size)
+		return rv.Wait()
+	case *join != "":
+		return runWorker(stdout, stderr, *join, *listen, *tensorPath, *prevPath, *outPath,
+			*rank, *iters, *mu, *method, *seed, *timeout)
+	default:
+		return fmt.Errorf("need -serve or -join")
+	}
+}
+
+func runWorker(stdout, stderr io.Writer, join, listen, tensorPath, prevPath, outPath string,
+	rank, iters int, mu float64, method string, seed uint64, timeout time.Duration) error {
+	if tensorPath == "" {
+		return fmt.Errorf("worker mode requires -tensor")
+	}
+	snap, err := loadTensor(tensorPath)
+	if err != nil {
+		return fmt.Errorf("load tensor: %w", err)
+	}
+	prev := dtd.EmptyState(snap.Order(), rank)
+	if prevPath != "" {
+		f, err := os.Open(prevPath)
+		if err != nil {
+			return fmt.Errorf("open prev state: %w", err)
+		}
+		prev, err = dtd.ReadState(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("read prev state: %w", err)
+		}
+	}
+	var pm partition.Method
+	switch strings.ToLower(method) {
+	case "gtp":
+		pm = partition.GTPMethod
+	case "mtp":
+		pm = partition.MTPMethod
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+
+	node, err := cluster.JoinTCP(join, listen, timeout)
+	if err != nil {
+		return fmt.Errorf("join cluster: %w", err)
+	}
+	defer node.Close()
+	node.SetRecvTimeout(timeout)
+
+	job, err := core.NewStepJob(prev, snap, core.Options{
+		Rank: rank, MaxIters: iters, Mu: mu, Seed: seed,
+		Workers: node.Size(), Method: pm,
+	})
+	if err != nil {
+		return err
+	}
+	stats, err := node.Run(job.RunWorker)
+	if err != nil {
+		return fmt.Errorf("rank %d: %w", node.Rank(), err)
+	}
+	fmt.Fprintf(stderr, "worker: rank %d/%d done, sent %dB in %d msgs, wall %s\n",
+		node.Rank(), node.Size(), stats.Ranks[0].BytesSent, stats.Ranks[0].MsgsSent, stats.Wall.Round(time.Millisecond))
+
+	if node.Rank() != 0 {
+		return nil
+	}
+	st, sum, err := job.Result()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "rank 0: iters=%d loss=%.6g complement_nnz=%d\n", sum.Iters, sum.Loss, sum.ComplementNNZ)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dtd.WriteState(f, st); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "worker: state written to %s\n", outPath)
+	}
+	return nil
+}
+
+func loadTensor(path string) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") || strings.HasSuffix(path, ".gob") {
+		return tensor.ReadBinary(f)
+	}
+	return tensor.ReadText(f)
+}

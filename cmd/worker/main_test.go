@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dismastd"
+	"dismastd/internal/cluster"
+)
+
+// TestTwoStepTCPCluster drives the full worker flow in-process: a
+// rendezvous plus three worker runs over real TCP loopback, first
+// bootstrapping from scratch, then an incremental step resuming from
+// the written state file.
+func TestTwoStepTCPCluster(t *testing.T) {
+	dir := t.TempDir()
+	full := dismastd.GenerateDataset(dismastd.DatasetBook, 2500, 9)
+	seq, err := dismastd.GrowthSchedule(full, []float64{0.85, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := make([]string, 2)
+	for i := range snaps {
+		snaps[i] = filepath.Join(dir, "snap"+string(rune('0'+i))+".bin")
+		f, err := os.Create(snaps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dismastd.WriteTensorBinary(f, seq.Snapshot(i)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	state := filepath.Join(dir, "state.gob")
+
+	const workers = 3
+	for step := 0; step < 2; step++ {
+		rv, err := cluster.NewRendezvous("127.0.0.1:0", workers)
+		if err != nil {
+			t.Skipf("loopback networking unavailable: %v", err)
+		}
+		var wg sync.WaitGroup
+		outs := make([]bytes.Buffer, workers)
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				args := []string{
+					"-join", rv.Addr(), "-tensor", snaps[step],
+					"-rank", "3", "-iters", "3", "-seed", "5",
+					"-out", state, "-timeout", "30s",
+				}
+				if step > 0 {
+					args = append(args, "-prev", state)
+				}
+				var stderr bytes.Buffer
+				errs[w] = run(args, &outs[w], &stderr)
+			}(w)
+		}
+		wg.Wait()
+		rv.Close()
+		combined := ""
+		for w := 0; w < workers; w++ {
+			if errs[w] != nil {
+				t.Fatalf("step %d worker %d: %v", step, w, errs[w])
+			}
+			combined += outs[w].String()
+		}
+		if !strings.Contains(combined, "rank 0: iters=3") {
+			t.Fatalf("step %d: no rank-0 summary in %q", step, combined)
+		}
+		if _, err := os.Stat(state); err != nil {
+			t.Fatalf("step %d: state not written: %v", step, err)
+		}
+	}
+}
+
+func TestWorkerArgErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for name, args := range map[string][]string{
+		"neither mode":       {},
+		"serve without size": {"-serve", "127.0.0.1:0"},
+		"join without file":  {"-join", "127.0.0.1:1"},
+		"bad method":         {"-join", "127.0.0.1:1", "-tensor", "x.tsv", "-method", "zzz"},
+	} {
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}

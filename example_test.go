@@ -1,0 +1,60 @@
+package dismastd_test
+
+import (
+	"fmt"
+
+	"dismastd"
+)
+
+// ExampleStream shows the essential streaming loop: nested snapshots in,
+// factors and predictions out.
+func ExampleStream() {
+	// A tiny ⟨user, product, day⟩ rating tensor that grows in every mode.
+	full := dismastd.NewBuilder([]int{4, 3, 2})
+	for _, e := range [][4]int{
+		{0, 0, 0, 5}, {1, 1, 0, 3}, {2, 0, 0, 4}, {0, 1, 0, 2},
+		{3, 2, 1, 5}, {1, 2, 1, 4}, {2, 1, 1, 1},
+	} {
+		full.Append([]int{e[0], e[1], e[2]}, float64(e[3]))
+	}
+	x := full.Build()
+
+	s := dismastd.NewStream(dismastd.Options{Rank: 2, MaxIters: 20, Seed: 1})
+	if _, err := s.Ingest(x.Prefix([]int{3, 2, 1})); err != nil { // day 1
+		panic(err)
+	}
+	rep, err := s.Ingest(x) // day 2: grew in users, products, and days
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("snapshots=%d touched=%d dims=%v\n", s.Snapshots(), rep.EntriesTouched, s.Dims())
+	// Output:
+	// snapshots=2 touched=3 dims=[4 3 2]
+}
+
+// ExampleDecompose runs a one-shot static decomposition.
+func ExampleDecompose() {
+	b := dismastd.NewBuilder([]int{3, 3, 3})
+	for i := 0; i < 3; i++ {
+		b.Append([]int{i, i, i}, 1) // a perfectly rank-1-per-slice diagonal
+	}
+	res, err := dismastd.Decompose(b.Build(), 3, 200)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("modes=%d fit>0.99=%v\n", len(res.Factors), res.Fit > 0.99)
+	// Output:
+	// modes=3 fit>0.99=true
+}
+
+// ExamplePartitionSlices demonstrates the two load-balancing heuristics
+// on a skewed slice histogram.
+func ExamplePartitionSlices() {
+	weights := []int64{90, 10, 10, 10, 10, 10, 10, 10} // one hot slice
+	_, gtpLoads := dismastd.PartitionSlices(weights, 2, dismastd.GTP)
+	_, mtpLoads := dismastd.PartitionSlices(weights, 2, dismastd.MTP)
+	fmt.Printf("GTP imbalance=%.2f MTP imbalance=%.2f\n",
+		dismastd.Imbalance(gtpLoads), dismastd.Imbalance(mtpLoads))
+	// Output:
+	// GTP imbalance=0.12 MTP imbalance=0.12
+}

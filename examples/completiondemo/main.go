@@ -1,0 +1,127 @@
+// Completiondemo: predicting missing ratings. The paper's introduction
+// frames recommendation as completing the missing cells of a streaming
+// rating tensor; this example contrasts the two fitting modes the
+// library offers on exactly that task:
+//
+//   - Decompose: classic CP-ALS over the full tensor, where every
+//     unobserved cell counts as a zero — fine for signal analysis,
+//     systematically biased toward zero for recommendations;
+//   - Complete / CompleteNext: weighted ALS over the observed entries
+//     only, the right model for sparse ratings.
+//
+// It builds a low-rank ground-truth preference model, reveals a
+// fraction of its cells as a growing multi-aspect stream, and reports
+// held-out prediction error for both approaches after each snapshot.
+//
+//	go run ./examples/completiondemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"dismastd"
+)
+
+const (
+	users, items, weeks = 40, 30, 8
+	rank                = 3
+)
+
+// lcg is a tiny deterministic generator for the demo.
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64(*l>>11) / (1 << 53)
+}
+func (l *lcg) intn(n int) int { return int(l.next() * float64(n)) }
+
+func main() {
+	src := lcg(7)
+
+	// Ground-truth preferences: a rank-3 model with positive factors.
+	truth := make([][][]float64, 3)
+	dims := []int{users, items, weeks}
+	for m, d := range dims {
+		truth[m] = make([][]float64, d)
+		for i := range truth[m] {
+			truth[m][i] = make([]float64, rank)
+			for r := range truth[m][i] {
+				truth[m][i][r] = src.next() + 0.2
+			}
+		}
+	}
+	at := func(u, p, w int) float64 {
+		s := 0.0
+		for r := 0; r < rank; r++ {
+			s += truth[0][u][r] * truth[1][p][r] * truth[2][w][r]
+		}
+		return s
+	}
+
+	// Reveal ~12% of cells as training observations and hold out a
+	// disjoint 2% for evaluation.
+	train := dismastd.NewBuilder(dims)
+	held := dismastd.NewBuilder(dims)
+	seen := map[[3]int]bool{}
+	sample := func(b *dismastd.Builder, count int) {
+		for placed := 0; placed < count; {
+			u, p, w := src.intn(users), src.intn(items), src.intn(weeks)
+			key := [3]int{u, p, w}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			b.Append([]int{u, p, w}, at(u, p, w))
+			placed++
+		}
+	}
+	sample(train, 1150)
+	sample(held, 200)
+	full := train.Build()
+	heldout := held.Build()
+
+	// Stream the observations: the service grows in users, items, and
+	// weeks simultaneously.
+	seq, err := dismastd.GrowthSchedule(full, []float64{0.7, 0.85, 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	copts := dismastd.CompletionOptions{Rank: rank, MaxIters: 120, Lambda: 1e-5, Seed: 11}
+	var model *dismastd.CompletionResult
+	for i := 0; i < seq.Len(); i++ {
+		snap := seq.Snapshot(i)
+		if i == 0 {
+			model, err = dismastd.Complete(snap, copts)
+		} else {
+			model, err = dismastd.CompleteNext(model, snap, copts)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Evaluate only on held-out cells inside the snapshot's bounds.
+		inBounds := heldout.Prefix(snap.Dims)
+		fmt.Printf("snapshot %d (%d obs): completion train RMSE %.4f, held-out RMSE %.4f over %d cells\n",
+			i, snap.NNZ(), model.RMSE, dismastd.PredictionRMSE(inBounds, model.Factors), inBounds.NNZ())
+	}
+
+	// Baseline: zero-imputed CP on the final snapshot.
+	cpRes, err := dismastd.Decompose(full, rank, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpErr := dismastd.PredictionRMSE(heldout, cpRes.Factors)
+	complErr := dismastd.PredictionRMSE(heldout, model.Factors)
+	scale := 0.0
+	for e := 0; e < heldout.NNZ(); e++ {
+		scale += heldout.Val(e) * heldout.Val(e)
+	}
+	scale = math.Sqrt(scale / float64(heldout.NNZ()))
+	fmt.Printf("\nheld-out RMSE (typical rating magnitude %.3f):\n", scale)
+	fmt.Printf("  completion (observed-only):   %.4f\n", complErr)
+	fmt.Printf("  plain CP (zeros imputed):     %.4f\n", cpErr)
+	fmt.Printf("  completion is %.1fx more accurate for recommendation\n", cpErr/complErr)
+}

@@ -1,0 +1,67 @@
+// Quickstart: decompose a tiny multi-aspect streaming tensor and
+// predict a missing entry.
+//
+//	go run ./examples/quickstart
+//
+// A rating tensor ⟨user, product, day⟩ grows in all three modes between
+// two snapshots (new users AND new products AND new days — the
+// multi-aspect setting). The second snapshot is absorbed incrementally:
+// only the newly arrived ratings are processed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dismastd"
+)
+
+// ratings is the full history: the first 8 rows fall inside the day-1
+// snapshot bounds (5 users, 4 products, 2 days); the rest arrive later
+// and extend every mode.
+var ratings = [][4]int{
+	{0, 0, 0, 5}, {0, 2, 0, 3}, {1, 1, 0, 4}, {2, 3, 1, 2},
+	{3, 0, 1, 4}, {4, 2, 1, 5}, {1, 3, 0, 1}, {2, 0, 0, 3},
+	{5, 4, 2, 4}, {6, 5, 2, 5}, {5, 0, 2, 2}, {0, 4, 2, 3},
+	{3, 5, 2, 4}, {6, 1, 2, 1},
+}
+
+func buildFull() *dismastd.Tensor {
+	b := dismastd.NewBuilder([]int{7, 6, 3})
+	for _, e := range ratings {
+		b.Append([]int{e[0], e[1], e[2]}, float64(e[3]))
+	}
+	return b.Build()
+}
+
+func main() {
+	full := buildFull()
+	snapshot1 := full.Prefix([]int{5, 4, 2}) // day 1: subset of users/products/days
+	snapshot2 := full                        // day 2: everything
+
+	stream := dismastd.NewStream(dismastd.Options{
+		Rank:        3,
+		MaxIters:    30,
+		Workers:     2,            // distributed across 2 in-process workers
+		Partitioner: dismastd.MTP, // max-min fit load balancing
+		Seed:        7,
+	})
+
+	rep, err := stream.Ingest(snapshot1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot 0: dims=%v touched %d entries, %d sweeps, loss %.4f\n",
+		snapshot1.Dims, rep.EntriesTouched, rep.Iters, rep.Loss)
+
+	rep, err = stream.Ingest(snapshot2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot 1: dims=%v touched only %d new entries (of %d total), %d sweeps, loss %.4f\n",
+		snapshot2.Dims, rep.EntriesTouched, snapshot2.NNZ(), rep.Iters, rep.Loss)
+
+	// Predict an unobserved rating: user 1 has not rated product 4 yet.
+	fmt.Printf("predicted rating of user 1 for product 4 on day 2: %.2f\n",
+		stream.Predict([]int{1, 4, 2}))
+}

@@ -1,0 +1,115 @@
+// Trendmonitor: streaming social-data analysis. A ⟨hashtag, user,
+// hour⟩ activity tensor grows every hour — new hashtags are coined, new
+// users join, time advances — and the decomposition's latent components
+// are inspected after each snapshot to surface the dominant activity
+// patterns and the hashtags driving them.
+//
+//	go run ./examples/trendmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"dismastd"
+)
+
+const (
+	tags  = 60
+	users = 200
+	hours = 12
+)
+
+// synthActivity builds an activity tensor with two planted trends: an
+// "established" topic active all day on early tags, and a "breaking"
+// topic that explodes in the final hours on late-coined tags.
+func synthActivity() *dismastd.Tensor {
+	b := dismastd.NewBuilder([]int{tags, users, hours})
+	seed := uint64(1)
+	next := func(n int) int { // tiny deterministic LCG for the demo
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(n))
+	}
+	// Established topic: tags 0-9, steady volume.
+	for i := 0; i < 3000; i++ {
+		b.Append([]int{next(10), next(users), next(hours)}, 1)
+	}
+	// Breaking topic: tags coined late (45-59), active only in the last
+	// 3 hours, heavy volume.
+	for i := 0; i < 2500; i++ {
+		b.Append([]int{45 + next(15), next(users), hours - 3 + next(3)}, 1)
+	}
+	// Background noise.
+	for i := 0; i < 1200; i++ {
+		b.Append([]int{next(tags), next(users), next(hours)}, 1)
+	}
+	return b.Build()
+}
+
+func main() {
+	full := synthActivity()
+	// Hourly snapshots: the tag and user modes grow with time as new
+	// hashtags and accounts appear.
+	var steps [][]int
+	for h := 9; h <= hours; h++ {
+		frac := float64(h) / hours
+		steps = append(steps, []int{
+			int(math.Ceil(tags * frac)),
+			int(math.Ceil(users * frac)),
+			h,
+		})
+	}
+	seq, err := dismastd.NewSequence(full, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stream := dismastd.NewStream(dismastd.Options{Rank: 4, MaxIters: 15, Workers: 3, Partitioner: dismastd.MTP, Seed: 3})
+	for i := 0; i < seq.Len(); i++ {
+		snap := seq.Snapshot(i)
+		rep, err := stream.Ingest(snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hour %2d: +%d events absorbed (%d sweeps)\n", steps[i][2], rep.EntriesTouched, rep.Iters)
+	}
+
+	// Rank components by their time-mode energy in the final hours to
+	// find what is trending NOW, then name each trend by its top tags.
+	factors := stream.Factors()
+	tagF, hourF := factors[0], factors[2]
+	rank := tagF.Cols
+	type trend struct {
+		comp   int
+		recent float64
+	}
+	var trends []trend
+	for r := 0; r < rank; r++ {
+		recent := 0.0
+		for h := hours - 3; h < hours; h++ {
+			recent += hourF.At(h, r) * hourF.At(h, r)
+		}
+		trends = append(trends, trend{r, recent})
+	}
+	sort.Slice(trends, func(a, b int) bool { return trends[a].recent > trends[b].recent })
+
+	fmt.Println("\ntrending components (by last-3-hours energy):")
+	for _, tr := range trends[:2] {
+		type tagScore struct {
+			tag   int
+			score float64
+		}
+		var ts []tagScore
+		for g := 0; g < tags; g++ {
+			ts = append(ts, tagScore{g, math.Abs(tagF.At(g, tr.comp))})
+		}
+		sort.Slice(ts, func(a, b int) bool { return ts[a].score > ts[b].score })
+		fmt.Printf("  component %d (energy %.2f), top hashtags:", tr.comp, tr.recent)
+		for _, s := range ts[:5] {
+			fmt.Printf(" #tag%d", s.tag)
+		}
+		fmt.Println()
+	}
+}

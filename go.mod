@@ -1,0 +1,3 @@
+module dismastd
+
+go 1.22

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SVG rendering of the paper's figures. The evaluation deliverable is
+// figures, not only tables, so the harness can draw each Fig. 5/6/7
+// panel as a standalone SVG line chart (hand-rolled — the module is
+// stdlib-only). cmd/dismastd-bench writes them with -svgdir.
+
+// chartSeries is one labelled polyline.
+type chartSeries struct {
+	Name string
+	X    []float64
+	Y    []float64 // seconds
+}
+
+var seriesColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// renderChart draws a minimal line chart: linear axes, ticks, series
+// polylines with point markers, and a legend.
+func renderChart(title, xLabel, yLabel string, series []chartSeries) string {
+	const (
+		width, height = 560, 360
+		left, right   = 70, 20
+		top, bottom   = 40, 50
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymax := 0.0
+	for _, s := range series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymax = 0, 1, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	ymax *= 1.08 // headroom
+	px := func(x float64) float64 { return float64(left) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(top) + (1-y/ymax)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`, left, xmlEscape(title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, left, top, left, height-bottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, left, height-bottom, width-right, height-bottom)
+
+	// Y ticks (5) with light grid lines.
+	for i := 0; i <= 4; i++ {
+		v := ymax * float64(i) / 4
+		y := py(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`, left, y, width-right, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`, left-6, y+4, formatSeconds(v))
+	}
+	// X ticks at every distinct x value.
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	var xticks []float64
+	for x := range xs {
+		xticks = append(xticks, x)
+	}
+	sort.Float64s(xticks)
+	for _, x := range xticks {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%g</text>`, px(x), height-bottom+18, x)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`, left+int(plotW/2), height-10, xmlEscape(xLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`, top+int(plotH/2), top+int(plotH/2), xmlEscape(yLabel))
+
+	// Series.
+	for si, s := range series {
+		color := seriesColors[si%len(seriesColors)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`, strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := top + 8 + si*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`, width-right-150, ly, width-right-126, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`, width-right-120, ly+4, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func formatSeconds(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 1e-3:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.0fms", v*1e3)
+	case v < 10:
+		return fmt.Sprintf("%.1fs", v)
+	default:
+		return fmt.Sprintf("%.0fs", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// Fig5SVG renders one Fig. 5 panel per dataset: simulated running time
+// per iteration against the stream size, one series per method.
+// Returns filename -> SVG document.
+func Fig5SVG(points []Fig5Point) map[string]string {
+	byDataset := map[string]map[string]*chartSeries{}
+	var datasets, methods []string
+	for _, p := range points {
+		if byDataset[p.Dataset] == nil {
+			byDataset[p.Dataset] = map[string]*chartSeries{}
+			datasets = append(datasets, p.Dataset)
+		}
+		s := byDataset[p.Dataset][p.Method]
+		if s == nil {
+			s = &chartSeries{Name: p.Method}
+			byDataset[p.Dataset][p.Method] = s
+			methods = appendUnique(methods, p.Method)
+		}
+		s.X = append(s.X, p.Frac*100)
+		s.Y = append(s.Y, secs(p.SimPerIter))
+	}
+	out := map[string]string{}
+	for _, ds := range datasets {
+		var series []chartSeries
+		for _, m := range methods {
+			if s := byDataset[ds][m]; s != nil {
+				series = append(series, *s)
+			}
+		}
+		out["fig5_"+strings.ToLower(ds)+".svg"] = renderChart(
+			"Fig. 5: "+ds+" — time per iteration along the stream",
+			"snapshot size (% of full tensor)", "time per iteration", series)
+	}
+	return out
+}
+
+// Fig6SVG renders one Fig. 6 panel per dataset: time per iteration vs
+// the number of partitions.
+func Fig6SVG(points []Fig6Point) map[string]string {
+	byDataset := map[string]map[string]*chartSeries{}
+	var datasets, methods []string
+	for _, p := range points {
+		if byDataset[p.Dataset] == nil {
+			byDataset[p.Dataset] = map[string]*chartSeries{}
+			datasets = append(datasets, p.Dataset)
+		}
+		s := byDataset[p.Dataset][p.Method]
+		if s == nil {
+			s = &chartSeries{Name: p.Method}
+			byDataset[p.Dataset][p.Method] = s
+			methods = appendUnique(methods, p.Method)
+		}
+		s.X = append(s.X, float64(p.Parts))
+		s.Y = append(s.Y, secs(p.SimPerIter))
+	}
+	out := map[string]string{}
+	for _, ds := range datasets {
+		var series []chartSeries
+		for _, m := range methods {
+			if s := byDataset[ds][m]; s != nil {
+				series = append(series, *s)
+			}
+		}
+		out["fig6_"+strings.ToLower(ds)+".svg"] = renderChart(
+			"Fig. 6: "+ds+" — time per iteration vs partitions",
+			"partitions per mode", "time per iteration", series)
+	}
+	return out
+}
+
+// Fig7SVG renders the Fig. 7 node-scaling chart, one series per dataset.
+func Fig7SVG(points []Fig7Point) map[string]string {
+	byDataset := map[string]*chartSeries{}
+	var datasets []string
+	for _, p := range points {
+		s := byDataset[p.Dataset]
+		if s == nil {
+			s = &chartSeries{Name: p.Dataset}
+			byDataset[p.Dataset] = s
+			datasets = append(datasets, p.Dataset)
+		}
+		s.X = append(s.X, float64(p.Nodes))
+		s.Y = append(s.Y, secs(p.SimPerIter))
+	}
+	var series []chartSeries
+	for _, ds := range datasets {
+		series = append(series, *byDataset[ds])
+	}
+	return map[string]string{
+		"fig7.svg": renderChart("Fig. 7: time per iteration vs number of nodes",
+			"nodes", "time per iteration", series),
+	}
+}
+
+func appendUnique(xs []string, x string) []string {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+
+	"dismastd/internal/dataset"
+)
+
+func validSVG(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, doc[:min(len(doc), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sample5() []Fig5Point {
+	var out []Fig5Point
+	for _, method := range []string{"DisMASTD-MTP", "DMS-MG-MTP"} {
+		for i, frac := range []float64{0.8, 0.9, 1.0} {
+			p := Fig5Point{Dataset: "Netflix", Method: method, Frac: frac}
+			p.SimPerIter = time.Duration(i+1) * time.Second
+			if method == "DMS-MG-MTP" {
+				p.SimPerIter *= 3
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestFig5SVG(t *testing.T) {
+	files := Fig5SVG(sample5())
+	doc, ok := files["fig5_netflix.svg"]
+	if !ok {
+		t.Fatalf("files: %v", files)
+	}
+	validSVG(t, doc)
+	for _, want := range []string{"DisMASTD-MTP", "DMS-MG-MTP", "polyline", "snapshot size"} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two series -> two polylines.
+	if got := strings.Count(doc, "<polyline"); got != 2 {
+		t.Fatalf("%d polylines", got)
+	}
+}
+
+func TestFig6And7SVG(t *testing.T) {
+	p6 := []Fig6Point{
+		{Dataset: "Book", Method: "DisMASTD-GTP", Parts: 8, Measurement: Measurement{SimPerIter: 4 * time.Second}},
+		{Dataset: "Book", Method: "DisMASTD-GTP", Parts: 15, Measurement: Measurement{SimPerIter: 2 * time.Second}},
+	}
+	for name, doc := range Fig6SVG(p6) {
+		if name != "fig6_book.svg" {
+			t.Fatalf("name %q", name)
+		}
+		validSVG(t, doc)
+	}
+	p7 := []Fig7Point{
+		{Dataset: "Synthetic", Nodes: 3, Measurement: Measurement{SimPerIter: 9 * time.Second}},
+		{Dataset: "Synthetic", Nodes: 15, Measurement: Measurement{SimPerIter: 3 * time.Second}},
+		{Dataset: "Netflix", Nodes: 3, Measurement: Measurement{SimPerIter: time.Second}},
+		{Dataset: "Netflix", Nodes: 15, Measurement: Measurement{SimPerIter: 800 * time.Millisecond}},
+	}
+	files := Fig7SVG(p7)
+	doc := files["fig7.svg"]
+	validSVG(t, doc)
+	if !strings.Contains(doc, "Synthetic") || !strings.Contains(doc, "Netflix") {
+		t.Fatal("fig7 missing dataset series")
+	}
+}
+
+func TestSVGDegenerateInputs(t *testing.T) {
+	// Empty input and constant values must not divide by zero.
+	validSVG(t, renderChart("empty", "x", "y", nil))
+	validSVG(t, renderChart("flat", "x", "y", []chartSeries{{Name: "s", X: []float64{1, 1}, Y: []float64{0, 0}}}))
+}
+
+func TestSVGEndToEndFromHarness(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Datasets = []dataset.Kind{dataset.Netflix}
+	points, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range Fig7SVG(points) {
+		validSVG(t, doc)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{0: "0", 0.000005: "5µs", 0.002: "2ms", 2.5: "2.5s", 42: "42s"}
+	for in, want := range cases {
+		if got := formatSeconds(in); got != want {
+			t.Fatalf("formatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

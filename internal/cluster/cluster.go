@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics counts one rank's traffic. Counters are atomic because a
+// rank's receive counters are bumped by the sending side's goroutine in
+// the in-process transport.
+type Metrics struct {
+	BytesSent, BytesRecv int64
+	MsgsSent, MsgsRecv   int64
+}
+
+func (m *Metrics) addSent(n int64) { atomic.AddInt64(&m.BytesSent, n); atomic.AddInt64(&m.MsgsSent, 1) }
+func (m *Metrics) addRecvd(n int64) {
+	atomic.AddInt64(&m.BytesRecv, n)
+	atomic.AddInt64(&m.MsgsRecv, 1)
+}
+
+// snapshot returns a plain copy safe to read after Run completes.
+func (m *Metrics) snapshot() Metrics {
+	return Metrics{
+		BytesSent: atomic.LoadInt64(&m.BytesSent),
+		BytesRecv: atomic.LoadInt64(&m.BytesRecv),
+		MsgsSent:  atomic.LoadInt64(&m.MsgsSent),
+		MsgsRecv:  atomic.LoadInt64(&m.MsgsRecv),
+	}
+}
+
+// RankStats is one rank's contribution to a run: traffic plus the work
+// units the worker recorded with AddWork (the simtime cost model's
+// compute input).
+type RankStats struct {
+	Metrics
+	Work float64
+}
+
+// RunStats aggregates a completed run.
+type RunStats struct {
+	Ranks []RankStats
+	Wall  time.Duration
+}
+
+// TotalBytes returns the bytes sent across all ranks.
+func (s *RunStats) TotalBytes() int64 {
+	var t int64
+	for _, r := range s.Ranks {
+		t += r.BytesSent
+	}
+	return t
+}
+
+// TotalMessages returns the messages sent across all ranks.
+func (s *RunStats) TotalMessages() int64 {
+	var t int64
+	for _, r := range s.Ranks {
+		t += r.MsgsSent
+	}
+	return t
+}
+
+// MaxWork returns the heaviest rank's work units — the straggler that
+// bounds parallel compute time.
+func (s *RunStats) MaxWork() float64 {
+	var max float64
+	for _, r := range s.Ranks {
+		if r.Work > max {
+			max = r.Work
+		}
+	}
+	return max
+}
+
+// TotalWork returns the work units summed over ranks.
+func (s *RunStats) TotalWork() float64 {
+	var t float64
+	for _, r := range s.Ranks {
+		t += r.Work
+	}
+	return t
+}
+
+// SendHook intercepts outgoing messages; returning an error makes the
+// send fail. Used for fault injection in tests.
+type SendHook func(from, to int, tag string) error
+
+// Worker is one rank's handle inside a running cluster: point-to-point
+// messaging, collectives (collectives.go), and work accounting. A
+// Worker is used only by the goroutine executing its worker function.
+type Worker struct {
+	rank, size  int
+	mbox        *mailbox
+	sendFn      func(to int, msg Message) error
+	metrics     *Metrics
+	recvTimeout time.Duration
+	coll        uint64 // collective sequence number; see collectives.go
+	work        float64
+}
+
+// Rank returns this worker's rank in [0, Size()).
+func (w *Worker) Rank() int { return w.rank }
+
+// Size returns the number of workers in the cluster.
+func (w *Worker) Size() int { return w.size }
+
+// AddWork records abstract work units (the distributed algorithms count
+// floating-point operations). Single-goroutine by construction.
+func (w *Worker) AddWork(units float64) { w.work += units }
+
+// UniqueTag returns a tag namespaced by the worker's collective
+// counter. Like the collectives, calls must happen in the same order on
+// every worker so matching sides derive the same tag.
+func (w *Worker) UniqueTag(prefix string) string { return w.nextTag(prefix) }
+
+// MetricsSnapshot returns the worker's traffic counters so far. Jobs
+// use it to separate algorithm traffic from one-time result collection.
+func (w *Worker) MetricsSnapshot() Metrics { return w.metrics.snapshot() }
+
+// Send delivers payload to rank `to` under the given tag. Sending to
+// yourself is allowed and loops back through the mailbox.
+func (w *Worker) Send(to int, tag string, payload []byte) error {
+	if to < 0 || to >= w.size {
+		return fmt.Errorf("cluster: send to invalid rank %d of %d", to, w.size)
+	}
+	msg := Message{From: w.rank, Tag: tag, Payload: payload}
+	if err := w.sendFn(to, msg); err != nil {
+		return fmt.Errorf("cluster: rank %d send to %d tag %q: %w", w.rank, to, tag, err)
+	}
+	w.metrics.addSent(msg.wireSize())
+	return nil
+}
+
+// Recv blocks until a message from rank `from` with the given tag
+// arrives, subject to the cluster's receive timeout.
+func (w *Worker) Recv(from int, tag string) ([]byte, error) {
+	if from < 0 || from >= w.size {
+		return nil, fmt.Errorf("cluster: recv from invalid rank %d of %d", from, w.size)
+	}
+	payload, err := w.mbox.recv(from, tag, w.recvTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rank %d recv from %d tag %q: %w", w.rank, from, tag, err)
+	}
+	w.metrics.addRecvd(int64(len(payload)) + int64(len(tag)) + 8)
+	return payload, nil
+}
+
+// Local is an in-process cluster: M workers as goroutines delivering
+// messages through shared-memory mailboxes, with the same accounting
+// the TCP transport performs. It is the substrate for the experiment
+// harness — see DESIGN.md for how simtime turns its measurements into
+// cluster-scale time estimates.
+type Local struct {
+	size        int
+	recvTimeout time.Duration
+	sendHook    SendHook
+}
+
+// NewLocal returns an in-process cluster of the given size with a
+// 30-second receive timeout.
+func NewLocal(size int) *Local {
+	if size <= 0 {
+		panic(fmt.Sprintf("cluster: NewLocal(%d)", size))
+	}
+	return &Local{size: size, recvTimeout: 30 * time.Second}
+}
+
+// SetRecvTimeout overrides the receive timeout (zero disables it).
+func (c *Local) SetRecvTimeout(d time.Duration) { c.recvTimeout = d }
+
+// SetSendHook installs a fault-injection hook applied to every send.
+func (c *Local) SetSendHook(h SendHook) { c.sendHook = h }
+
+// Size returns the number of workers the cluster runs.
+func (c *Local) Size() int { return c.size }
+
+// Run executes fn once per rank concurrently and waits for all ranks.
+// The first error poisons every mailbox so blocked receives fail fast,
+// and is returned after all goroutines exit. Statistics are valid even
+// on error.
+func (c *Local) Run(fn func(*Worker) error) (*RunStats, error) {
+	mboxes := make([]*mailbox, c.size)
+	metrics := make([]*Metrics, c.size)
+	for i := range mboxes {
+		mboxes[i] = newMailbox()
+		metrics[i] = &Metrics{}
+	}
+	workers := make([]*Worker, c.size)
+	for i := range workers {
+		rank := i
+		workers[i] = &Worker{
+			rank:        rank,
+			size:        c.size,
+			mbox:        mboxes[rank],
+			metrics:     metrics[rank],
+			recvTimeout: c.recvTimeout,
+			sendFn: func(to int, msg Message) error {
+				if c.sendHook != nil {
+					if err := c.sendHook(msg.From, to, msg.Tag); err != nil {
+						return err
+					}
+				}
+				mboxes[to].deliver(msg.From, msg.Tag, msg.Payload)
+				return nil
+			},
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := range workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			if err := fn(w); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("rank %d: %w", w.rank, err)
+				}
+				mu.Unlock()
+				for _, mb := range mboxes {
+					mb.fail(fmt.Errorf("%w: rank %d failed: %v", ErrClosed, w.rank, err))
+				}
+			}
+		}(workers[i])
+	}
+	wg.Wait()
+
+	stats := &RunStats{Wall: time.Since(start)}
+	for i, w := range workers {
+		stats.Ranks = append(stats.Ranks, RankStats{Metrics: metrics[i].snapshot(), Work: w.work})
+	}
+	return stats, firstErr
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Collectives. Every worker in the cluster must invoke the same
+// sequence of collective calls: each call consumes one slot of the
+// per-worker collective counter, which namespaces its message tags so
+// consecutive collectives never cross-match. This mirrors the lockstep
+// structure of the distributed decomposition (all workers sweep the
+// same modes in the same order).
+
+func (w *Worker) nextTag(op string) string {
+	t := fmt.Sprintf("%s#%d", op, w.coll)
+	w.coll++
+	return t
+}
+
+// Barrier blocks until every worker has entered it: ranks report to
+// rank 0, which releases them.
+func (w *Worker) Barrier() error {
+	tag := w.nextTag("barrier")
+	if w.rank == 0 {
+		for r := 1; r < w.size; r++ {
+			if _, err := w.Recv(r, tag); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < w.size; r++ {
+			if err := w.Send(r, tag+"/ack", nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := w.Send(0, tag, nil); err != nil {
+		return err
+	}
+	_, err := w.Recv(0, tag+"/ack")
+	return err
+}
+
+// BroadcastBytes distributes root's data to every rank and returns it.
+// Non-root callers' data argument is ignored. The data flows down a
+// binomial tree rooted at root, so no rank sends or receives more than
+// ⌈log₂ M⌉ messages — the same structure real MPI/Spark broadcasts use,
+// and what keeps the per-rank traffic at the O(R²·log M) the runtime's
+// byte counters feed into the cost model.
+func (w *Worker) BroadcastBytes(root int, data []byte) ([]byte, error) {
+	tag := w.nextTag("bcast")
+	vr := (w.rank - root + w.size) % w.size // virtual rank with root at 0
+	for bit := 1; bit < w.size; bit <<= 1 {
+		if vr < bit {
+			// This rank already holds the data: feed the subtree peer.
+			peer := vr + bit
+			if peer < w.size {
+				if err := w.Send((peer+root)%w.size, tag, data); err != nil {
+					return nil, err
+				}
+			}
+		} else if vr < bit<<1 {
+			got, err := w.Recv((vr-bit+root)%w.size, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = got
+		}
+	}
+	return data, nil
+}
+
+// GatherBytes collects every rank's data at root. At root the result
+// has one element per rank (root's own included, in rank order); other
+// ranks get nil.
+func (w *Worker) GatherBytes(root int, data []byte) ([][]byte, error) {
+	tag := w.nextTag("gather")
+	if w.rank == root {
+		out := make([][]byte, w.size)
+		out[root] = data
+		for r := 0; r < w.size; r++ {
+			if r == root {
+				continue
+			}
+			b, err := w.Recv(r, tag)
+			if err != nil {
+				return nil, err
+			}
+			out[r] = b
+		}
+		return out, nil
+	}
+	return nil, w.Send(root, tag, data)
+}
+
+// AllGatherBytes collects every rank's data everywhere: a gather to
+// rank 0 followed by a broadcast of the framed list.
+func (w *Worker) AllGatherBytes(data []byte) ([][]byte, error) {
+	parts, err := w.GatherBytes(0, data)
+	if err != nil {
+		return nil, err
+	}
+	var framed []byte
+	if w.rank == 0 {
+		framed = encodeFrames(parts)
+	}
+	framed, err = w.BroadcastBytes(0, framed)
+	if err != nil {
+		return nil, err
+	}
+	out, err := decodeFrames(framed)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != w.size {
+		return nil, fmt.Errorf("cluster: allgather returned %d frames for %d ranks", len(out), w.size)
+	}
+	return out, nil
+}
+
+// AllReduceSum sums the per-rank vectors elementwise and returns the
+// total to every rank: a binomial-tree reduction to rank 0 followed by
+// a binomial-tree broadcast of the canonical sum. Every rank observes
+// the identical (bitwise) result because a single summation tree is
+// used, and no rank handles more than ⌈log₂ M⌉ messages per phase.
+// This is the all-to-all reduction of the paper's Section IV-B3, used
+// to aggregate the partial Gram matrices ÃᵀA₀ and A₀ᵀA₀ across
+// partitions.
+func (w *Worker) AllReduceSum(vec []float64) ([]float64, error) {
+	tag := w.nextTag("reduce")
+	acc := append([]float64(nil), vec...)
+	// Binomial-tree reduce: in round `bit`, ranks with that bit set
+	// push their accumulator one level up and drop out.
+	for bit := 1; bit < w.size; bit <<= 1 {
+		if w.rank&bit != 0 {
+			if err := w.Send(w.rank-bit, tag, EncodeFloat64s(acc)); err != nil {
+				return nil, err
+			}
+			acc = nil // handed off; wait for the broadcast below
+			break
+		}
+		peer := w.rank + bit
+		if peer >= w.size {
+			continue
+		}
+		payload, err := w.Recv(peer, tag)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := DecodeFloat64s(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != len(acc) {
+			return nil, fmt.Errorf("cluster: allreduce rank %d contributed %d values, want %d", peer, len(vals), len(acc))
+		}
+		for i, v := range vals {
+			acc[i] += v
+		}
+	}
+	var payload []byte
+	if w.rank == 0 {
+		payload = EncodeFloat64s(acc)
+	}
+	payload, err := w.BroadcastBytes(0, payload)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFloat64s(payload)
+}
+
+// ReduceScalarSum is AllReduceSum for a single value.
+func (w *Worker) ReduceScalarSum(x float64) (float64, error) {
+	out, err := w.AllReduceSum([]float64{x})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// encodeFrames packs a list of byte slices with uint32 length prefixes.
+func encodeFrames(parts [][]byte) []byte {
+	size := 4
+	for _, p := range parts {
+		size += 4 + len(p)
+	}
+	out := make([]byte, 0, size)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(parts)))
+	out = append(out, hdr[:]...)
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		out = append(out, hdr[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+// decodeFrames unpacks encodeFrames output.
+func decodeFrames(b []byte) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("cluster: framed payload too short (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	out := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("cluster: truncated frame header at %d", i)
+		}
+		l := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < l {
+			return nil, fmt.Errorf("cluster: truncated frame %d (%d of %d bytes)", i, len(b), l)
+		}
+		out = append(out, b[:l:l])
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after frames", len(b))
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrTimeout reports a receive that waited longer than the worker's
+// receive timeout — usually a deadlocked or crashed peer.
+var ErrTimeout = errors.New("cluster: receive timed out")
+
+// ErrClosed reports an operation on a cluster that has been shut down
+// or poisoned by another worker's failure.
+var ErrClosed = errors.New("cluster: closed")
+
+type mailKey struct {
+	from int
+	tag  string
+}
+
+// mailbox demultiplexes incoming messages into per-(sender, tag) FIFO
+// queues so a worker can wait for exactly the message it needs
+// regardless of arrival interleaving.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[mailKey][][]byte
+	err    error
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: make(map[mailKey][][]byte)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// deliver appends a message; it never blocks.
+func (m *mailbox) deliver(from int, tag string, payload []byte) {
+	m.mu.Lock()
+	k := mailKey{from, tag}
+	m.queues[k] = append(m.queues[k], payload)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// fail poisons the mailbox: every pending and future receive returns err.
+func (m *mailbox) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// recv waits for a message from the given sender and tag, up to the
+// timeout (no timeout when zero). A background timer wakes the
+// condition variable so timeouts fire even with no traffic.
+func (m *mailbox) recv(from int, tag string, timeout time.Duration) ([]byte, error) {
+	k := mailKey{from, tag}
+	var deadline time.Time
+	var timer *time.Timer
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		timer = time.AfterFunc(timeout, m.cond.Broadcast)
+		defer timer.Stop()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if q := m.queues[k]; len(q) > 0 {
+			payload := q[0]
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				m.queues[k] = q[1:]
+			}
+			return payload, nil
+		}
+		if m.err != nil {
+			return nil, m.err
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return nil, fmt.Errorf("%w: from %d tag %q", ErrTimeout, from, tag)
+		}
+		m.cond.Wait()
+	}
+}

@@ -1,0 +1,76 @@
+// Package cluster implements the distributed runtime DisMASTD runs on:
+// a fixed-size group of workers exchanging tagged messages through a
+// pluggable Transport, with the collectives the paper's computation
+// needs (broadcast, gather, all-reduce) built on top, and per-rank
+// metrics (bytes, messages, work units) that feed both the
+// communication-complexity checks (Theorem 4) and the simtime cost
+// model.
+//
+// Two transports are provided: an in-process transport that delivers
+// through shared memory (used by the experiment harness — the paper's
+// cluster is simulated as goroutine workers), and a TCP transport using
+// net + encoding/gob that runs the same worker code across OS processes
+// (cmd/worker, examples/multiprocess).
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Message is one tagged point-to-point payload. Tags namespace the
+// independent message streams of the algorithm (per-mode Grams, factor
+// rows, loss terms) so receives match deterministically.
+type Message struct {
+	From    int
+	Tag     string
+	Payload []byte
+}
+
+// wireSize is the accounting size of a message: payload plus a fixed
+// per-message envelope estimate (from/tag framing).
+func (m *Message) wireSize() int64 { return int64(len(m.Payload)) + int64(len(m.Tag)) + 8 }
+
+// EncodeFloat64s packs a float64 slice little-endian. It is the payload
+// codec for Gram matrices, factor rows, and scalar reductions.
+func EncodeFloat64s(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeFloat64s unpacks a payload written by EncodeFloat64s.
+func DecodeFloat64s(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("cluster: float64 payload of %d bytes", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+// EncodeInt32s packs an int32 slice little-endian (row-index lists).
+func EncodeInt32s(vals []int32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+	}
+	return out
+}
+
+// DecodeInt32s unpacks a payload written by EncodeInt32s.
+func DecodeInt32s(b []byte) ([]int32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("cluster: int32 payload of %d bytes", len(b))
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP transport: the same Worker API running across OS processes. A
+// rendezvous service assigns ranks and distributes the address table;
+// each node then exchanges gob-encoded Messages over lazily dialed
+// point-to-point connections. cmd/worker and examples/multiprocess use
+// this to run DisMASTD as a real multi-process cluster.
+
+type joinRequest struct {
+	ListenAddr string
+}
+
+type joinReply struct {
+	Rank  int
+	Addrs []string
+}
+
+// Rendezvous is the rank-assignment service: it accepts exactly size
+// joins, assigns ranks in join order, and sends every member the full
+// address table.
+type Rendezvous struct {
+	ln   net.Listener
+	size int
+	done chan error
+}
+
+// NewRendezvous binds addr (e.g. "127.0.0.1:0") and starts accepting
+// joins for a cluster of the given size.
+func NewRendezvous(addr string, size int) (*Rendezvous, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("cluster: rendezvous size %d", size)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rendezvous listen: %w", err)
+	}
+	r := &Rendezvous{ln: ln, size: size, done: make(chan error, 1)}
+	go r.serve()
+	return r, nil
+}
+
+// Addr returns the bound rendezvous address workers should dial.
+func (r *Rendezvous) Addr() string { return r.ln.Addr().String() }
+
+// Wait blocks until every worker has joined and received its rank, or
+// an accept error occurred.
+func (r *Rendezvous) Wait() error { return <-r.done }
+
+// Close stops the rendezvous listener.
+func (r *Rendezvous) Close() error { return r.ln.Close() }
+
+func (r *Rendezvous) serve() {
+	type member struct {
+		conn net.Conn
+		addr string
+	}
+	var members []member
+	for len(members) < r.size {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			for _, m := range members {
+				m.conn.Close()
+			}
+			r.done <- fmt.Errorf("cluster: rendezvous accept: %w", err)
+			return
+		}
+		var req joinRequest
+		if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+			conn.Close()
+			continue // malformed joiner; keep waiting
+		}
+		members = append(members, member{conn: conn, addr: req.ListenAddr})
+	}
+	addrs := make([]string, len(members))
+	for i, m := range members {
+		addrs[i] = m.addr
+	}
+	var firstErr error
+	for rank, m := range members {
+		if err := gob.NewEncoder(m.conn).Encode(joinReply{Rank: rank, Addrs: addrs}); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: rendezvous reply to rank %d: %w", rank, err)
+		}
+		m.conn.Close()
+	}
+	r.done <- firstErr
+}
+
+// TCPNode is one rank of a TCP cluster.
+type TCPNode struct {
+	rank, size  int
+	addrs       []string
+	ln          net.Listener
+	mbox        *mailbox
+	metrics     *Metrics
+	recvTimeout time.Duration
+
+	mu    sync.Mutex
+	conns map[int]*peerConn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// JoinTCP creates a node: it binds listenAddr (use "127.0.0.1:0" for an
+// ephemeral port), registers with the rendezvous at coordAddr, and
+// returns once the rank and address table arrive.
+func JoinTCP(coordAddr, listenAddr string, timeout time.Duration) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node listen: %w", err)
+	}
+	conn, err := net.DialTimeout("tcp", coordAddr, timeout)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("cluster: dial rendezvous %s: %w", coordAddr, err)
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := gob.NewEncoder(conn).Encode(joinRequest{ListenAddr: ln.Addr().String()}); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("cluster: send join: %w", err)
+	}
+	var reply joinReply
+	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("cluster: read join reply: %w", err)
+	}
+	n := &TCPNode{
+		rank:        reply.Rank,
+		size:        len(reply.Addrs),
+		addrs:       reply.Addrs,
+		ln:          ln,
+		mbox:        newMailbox(),
+		metrics:     &Metrics{},
+		recvTimeout: 60 * time.Second,
+		conns:       make(map[int]*peerConn),
+		closed:      make(chan struct{}),
+	}
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Rank returns this node's rank.
+func (n *TCPNode) Rank() int { return n.rank }
+
+// Size returns the cluster size.
+func (n *TCPNode) Size() int { return n.size }
+
+// SetRecvTimeout overrides the node's receive timeout (zero disables).
+func (n *TCPNode) SetRecvTimeout(d time.Duration) { n.recvTimeout = d }
+
+func (n *TCPNode) acceptLoop() {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+			default:
+				n.mbox.fail(fmt.Errorf("%w: accept: %v", ErrClosed, err))
+			}
+			return
+		}
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			conn.Close()
+			return // peer closed; pending receives fail via timeout or node close
+		}
+		n.metrics.addRecvd(msg.wireSize())
+		n.mbox.deliver(msg.From, msg.Tag, msg.Payload)
+	}
+}
+
+func (n *TCPNode) peer(to int) (*peerConn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if pc, ok := n.conns[to]; ok {
+		return pc, nil
+	}
+	conn, err := net.DialTimeout("tcp", n.addrs[to], 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dial rank %d at %s: %w", to, n.addrs[to], err)
+	}
+	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+	n.conns[to] = pc
+	return pc, nil
+}
+
+func (n *TCPNode) send(to int, msg Message) error {
+	if to == n.rank {
+		n.metrics.addRecvd(msg.wireSize())
+		n.mbox.deliver(msg.From, msg.Tag, msg.Payload)
+		return nil
+	}
+	pc, err := n.peer(to)
+	if err != nil {
+		return err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.enc.Encode(&msg)
+}
+
+// Run executes fn as this node's worker function and returns its stats.
+// Unlike Local.Run it drives a single rank; the other ranks run in
+// their own processes (or goroutines in tests).
+func (n *TCPNode) Run(fn func(*Worker) error) (*RunStats, error) {
+	w := &Worker{
+		rank:        n.rank,
+		size:        n.size,
+		mbox:        n.mbox,
+		metrics:     n.metrics,
+		recvTimeout: n.recvTimeout,
+		sendFn:      n.send,
+	}
+	start := time.Now()
+	err := fn(w)
+	stats := &RunStats{
+		Wall:  time.Since(start),
+		Ranks: []RankStats{{Metrics: n.metrics.snapshot(), Work: w.work}},
+	}
+	return stats, err
+}
+
+// Close shuts the node down: pending receives fail with ErrClosed.
+func (n *TCPNode) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		err = n.ln.Close()
+		n.mu.Lock()
+		for _, pc := range n.conns {
+			pc.conn.Close()
+		}
+		n.mu.Unlock()
+		n.mbox.fail(ErrClosed)
+	})
+	return err
+}
+
+// IsClosed reports whether err stems from a closed or failed cluster.
+func IsClosed(err error) bool { return errors.Is(err, ErrClosed) }

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startTCPCluster spins up a rendezvous plus size nodes on loopback and
+// returns the joined nodes.
+func startTCPCluster(t *testing.T, size int) []*TCPNode {
+	t.Helper()
+	rv, err := NewRendezvous("127.0.0.1:0", size)
+	if err != nil {
+		t.Skipf("loopback networking unavailable: %v", err)
+	}
+	t.Cleanup(func() { rv.Close() })
+
+	nodes := make([]*TCPNode, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nodes[i], errs[i] = JoinTCP(rv.Addr(), "127.0.0.1:0", 5*time.Second)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	if err := rv.Wait(); err != nil {
+		t.Fatalf("rendezvous: %v", err)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	return nodes
+}
+
+// runTCP executes fn on every node concurrently, like Local.Run does
+// for goroutine workers.
+func runTCP(t *testing.T, nodes []*TCPNode, fn func(*Worker) error) []*RunStats {
+	t.Helper()
+	stats := make([]*RunStats, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *TCPNode) {
+			defer wg.Done()
+			stats[i], errs[i] = n.Run(fn)
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	return stats
+}
+
+func TestTCPRanksAssigned(t *testing.T) {
+	nodes := startTCPCluster(t, 3)
+	seen := make(map[int]bool)
+	for _, n := range nodes {
+		if n.Size() != 3 {
+			t.Fatalf("size %d", n.Size())
+		}
+		seen[n.Rank()] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("ranks not distinct: %v", seen)
+	}
+}
+
+func TestTCPPointToPointAndCollectives(t *testing.T) {
+	nodes := startTCPCluster(t, 3)
+	runTCP(t, nodes, func(w *Worker) error {
+		next := (w.Rank() + 1) % w.Size()
+		prev := (w.Rank() - 1 + w.Size()) % w.Size()
+		if err := w.Send(next, "ring", []byte{byte(w.Rank())}); err != nil {
+			return err
+		}
+		got, err := w.Recv(prev, "ring")
+		if err != nil {
+			return err
+		}
+		if int(got[0]) != prev {
+			return fmt.Errorf("token %d from %d", got[0], prev)
+		}
+		sum, err := w.ReduceScalarSum(float64(w.Rank()))
+		if err != nil {
+			return err
+		}
+		if sum != 3 { // 0+1+2
+			return fmt.Errorf("reduce sum %v", sum)
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		all, err := w.AllGatherBytes([]byte{byte(w.Rank() + 1)})
+		if err != nil {
+			return err
+		}
+		for r, p := range all {
+			if int(p[0]) != r+1 {
+				return fmt.Errorf("allgather[%d] = %d", r, p[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPMetrics(t *testing.T) {
+	nodes := startTCPCluster(t, 2)
+	stats := runTCP(t, nodes, func(w *Worker) error {
+		if w.Rank() == 0 {
+			return w.Send(1, "data", make([]byte, 1000))
+		}
+		_, err := w.Recv(0, "data")
+		return err
+	})
+	var sent int64
+	for _, s := range stats {
+		sent += s.Ranks[0].BytesSent
+	}
+	if sent < 1000 {
+		t.Fatalf("sent bytes %d", sent)
+	}
+}
+
+func TestTCPNodeCloseFailsPendingRecv(t *testing.T) {
+	nodes := startTCPCluster(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := nodes[0].Run(func(w *Worker) error {
+			_, err := w.Recv(1, "never")
+			return err
+		})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	nodes[0].Close()
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, ErrClosed) {
+			t.Fatalf("error = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending recv not released by Close")
+	}
+}
+
+func TestTCPRecvTimeout(t *testing.T) {
+	nodes := startTCPCluster(t, 2)
+	nodes[0].SetRecvTimeout(50 * time.Millisecond)
+	_, err := nodes[0].Run(func(w *Worker) error {
+		_, err := w.Recv(1, "silence")
+		return err
+	})
+	if err == nil || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error = %v, want timeout", err)
+	}
+}
+
+func TestRendezvousRejectsBadSize(t *testing.T) {
+	if _, err := NewRendezvous("127.0.0.1:0", 0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}

@@ -1,0 +1,260 @@
+// Package completion implements CP tensor *completion*: fitting the
+// Kruskal model to the observed entries only, treating everything else
+// as missing rather than zero. This is the setting of the paper's
+// motivating recommendation example (Section I: predicted ratings are
+// "missing entries of data tensors that could be complemented by the
+// latent representations") and of MAST, the centralized multi-aspect
+// streaming predecessor DisMASTD builds on.
+//
+// Plain CP-ALS (internal/cp) minimises the error over the *full* dense
+// tensor, so unobserved cells act as hard zeros and drag predictions
+// toward zero. Completion minimises
+//
+//	Σ_{c ∈ Ω} (X[c] − Y[c])² + λ Σ_k ‖A_k‖_F²
+//
+// over the observation set Ω, which requires a separate R×R normal
+// system per factor row (the rows no longer share a denominator):
+//
+//	(Σ_{e ∈ Ω, c_n=i} h_e h_eᵀ + λI) · A_n[i,:]ᵀ = Σ_e X[e]·h_e,
+//	h_e = ∗_{k≠n} A_k[c_k,:]
+//
+// solved with the same Cholesky machinery as the rest of the library.
+// StreamStep extends the solver to multi-aspect streaming snapshots by
+// warm-starting from the previous factors.
+package completion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dismastd/internal/mat"
+	"dismastd/internal/mttkrp"
+	"dismastd/internal/tensor"
+	"dismastd/internal/xrand"
+)
+
+// Options controls a completion run.
+type Options struct {
+	Rank     int     // R (required, > 0)
+	MaxIters int     // ALS sweeps; default 30
+	Tol      float64 // stop when relative RMSE change falls below Tol; default 1e-6
+	Lambda   float64 // ridge regulariser λ; default 1e-3
+	Seed     uint64  // initialisation seed; default 1
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	opts := *o
+	if opts.Rank <= 0 {
+		return opts, fmt.Errorf("completion: rank must be positive, got %d", opts.Rank)
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 30
+	}
+	if opts.Tol < 0 {
+		return opts, fmt.Errorf("completion: negative tolerance %v", opts.Tol)
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-6
+	}
+	if opts.Lambda < 0 {
+		return opts, fmt.Errorf("completion: negative lambda %v", opts.Lambda)
+	}
+	if opts.Lambda == 0 {
+		opts.Lambda = 1e-3
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return opts, nil
+}
+
+// Result reports a completion run.
+type Result struct {
+	Factors   []*mat.Dense
+	Iters     int
+	RMSE      float64 // root mean squared error over the observed entries
+	RMSETrace []float64
+}
+
+// ErrNoObservations reports completion of a tensor without entries.
+var ErrNoObservations = errors.New("completion: tensor has no observed entries")
+
+// Decompose fits the model to x's observed entries from a random start.
+func Decompose(x *tensor.Tensor, o Options) (*Result, error) {
+	opts, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	src := xrand.New(opts.Seed)
+	factors := make([]*mat.Dense, x.Order())
+	for m, d := range x.Dims {
+		factors[m] = mat.RandomUniform(d, opts.Rank, src)
+	}
+	return DecomposeFrom(x, factors, opts)
+}
+
+// DecomposeFrom fits the model starting from the given factors (updated
+// in place). Used for warm starts and by StreamStep.
+func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, error) {
+	opts, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if x.NNZ() == 0 {
+		return nil, ErrNoObservations
+	}
+	if len(factors) != x.Order() {
+		return nil, fmt.Errorf("completion: %d factors for order-%d tensor", len(factors), x.Order())
+	}
+	for m, f := range factors {
+		if f.Rows != x.Dims[m] || f.Cols != opts.Rank {
+			return nil, fmt.Errorf("completion: factor %d is %dx%d, want %dx%d", m, f.Rows, f.Cols, x.Dims[m], opts.Rank)
+		}
+	}
+
+	n := x.Order()
+	r := opts.Rank
+	views := make([]*mttkrp.ModeView, n)
+	for m := 0; m < n; m++ {
+		views[m] = mttkrp.NewModeView(x, m)
+	}
+
+	res := &Result{Factors: factors}
+	prev := math.Inf(1)
+	h := make([]float64, r)
+	sys := mat.New(r, r)
+	rhs := mat.New(r, 1)
+	for it := 0; it < opts.MaxIters; it++ {
+		for m := 0; m < n; m++ {
+			updateModeObserved(x, views[m], factors, m, opts.Lambda, h, sys, rhs)
+		}
+		res.Iters = it + 1
+		res.RMSE = RMSE(x, factors)
+		res.RMSETrace = append(res.RMSETrace, res.RMSE)
+		if relChange(prev, res.RMSE) < opts.Tol {
+			break
+		}
+		prev = res.RMSE
+	}
+	return res, nil
+}
+
+// updateModeObserved solves the per-row regularised normal equations of
+// one mode. h, sys, rhs are scratch buffers sized R, RxR, Rx1.
+func updateModeObserved(x *tensor.Tensor, view *mttkrp.ModeView, factors []*mat.Dense, mode int, lambda float64, h []float64, sys, rhs *mat.Dense) {
+	n := x.Order()
+	r := len(h)
+	for g := 0; g < view.NumRows(); g++ {
+		sys.Zero()
+		rhs.Zero()
+		for p := view.Starts[g]; p < view.Starts[g+1]; p++ {
+			e := int(view.EntryOrder[p])
+			base := e * n
+			for c := range h {
+				h[c] = 1
+			}
+			for k := 0; k < n; k++ {
+				if k == mode {
+					continue
+				}
+				row := factors[k].Row(int(x.Coords[base+k]))
+				for c := range h {
+					h[c] *= row[c]
+				}
+			}
+			v := x.Vals[e]
+			for i, hi := range h {
+				if hi == 0 {
+					continue
+				}
+				srow := sys.Row(i)
+				for j, hj := range h {
+					srow[j] += hi * hj
+				}
+				rhs.Data[i] += v * hi
+			}
+		}
+		for i := 0; i < r; i++ {
+			sys.Set(i, i, sys.At(i, i)+lambda)
+		}
+		sol, err := mat.SolveSPD(sys, rhs)
+		if err != nil {
+			// Extremely ill-conditioned row (e.g. duplicate colinear
+			// observations): fall back to a stronger ridge.
+			for i := 0; i < r; i++ {
+				sys.Set(i, i, sys.At(i, i)+1e-6+lambda*10)
+			}
+			sol = mat.SolveRightRidge(mat.Transpose(rhs), sys)
+			sol = mat.Transpose(sol)
+		}
+		copy(factors[mode].Row(int(view.Rows[g])), sol.Data)
+	}
+	// Rows with no observations keep their current values, pinned only
+	// by the regulariser's pull in subsequent predictions.
+}
+
+// RMSE returns the root mean squared prediction error over x's
+// observed entries.
+func RMSE(x *tensor.Tensor, factors []*mat.Dense) float64 {
+	if x.NNZ() == 0 {
+		return 0
+	}
+	n := x.Order()
+	r := factors[0].Cols
+	tmp := make([]float64, r)
+	var sum float64
+	for e := 0; e < x.NNZ(); e++ {
+		base := e * n
+		for c := range tmp {
+			tmp[c] = 1
+		}
+		for k := 0; k < n; k++ {
+			row := factors[k].Row(int(x.Coords[base+k]))
+			for c := range tmp {
+				tmp[c] *= row[c]
+			}
+		}
+		pred := 0.0
+		for _, v := range tmp {
+			pred += v
+		}
+		d := x.Vals[e] - pred
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(x.NNZ()))
+}
+
+// StreamStep advances a completion model along a multi-aspect stream:
+// the previous factors are extended with seeded random rows for the
+// growth ranges and refined over the new snapshot's observations by
+// warm-started weighted ALS. prevFactors is not modified.
+func StreamStep(prevFactors []*mat.Dense, snapshot *tensor.Tensor, o Options) (*Result, error) {
+	opts, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(prevFactors) != snapshot.Order() {
+		return nil, fmt.Errorf("completion: %d previous factors for order-%d snapshot", len(prevFactors), snapshot.Order())
+	}
+	src := xrand.New(opts.Seed)
+	factors := make([]*mat.Dense, snapshot.Order())
+	for m, f := range prevFactors {
+		if f.Cols != opts.Rank {
+			return nil, fmt.Errorf("completion: previous factor %d has rank %d, want %d", m, f.Cols, opts.Rank)
+		}
+		grow := snapshot.Dims[m] - f.Rows
+		if grow < 0 {
+			return nil, fmt.Errorf("completion: mode %d shrank %d -> %d", m, f.Rows, snapshot.Dims[m])
+		}
+		factors[m] = mat.StackRows(f, mat.RandomUniform(grow, opts.Rank, src))
+	}
+	return DecomposeFrom(snapshot, factors, opts)
+}
+
+func relChange(prev, cur float64) float64 {
+	if math.IsInf(prev, 1) {
+		return math.Inf(1)
+	}
+	return math.Abs(prev-cur) / math.Max(prev, 1e-12)
+}

@@ -1,0 +1,256 @@
+package completion
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"dismastd/internal/cluster"
+	"dismastd/internal/dplan"
+	"dismastd/internal/mat"
+	"dismastd/internal/partition"
+	"dismastd/internal/tensor"
+	"dismastd/internal/xrand"
+)
+
+// Distributed completion: the same weighted ALS run on the cluster
+// runtime, with the observations distributed per mode by GTP/MTP
+// exactly like DisMASTD distributes the complement. Completion
+// parallelises even more cleanly than decomposition — each factor row's
+// R×R normal system is built solely from that row's own observations,
+// which live with the row's owner by construction — so the only
+// communication is the post-update factor-row exchange and the RMSE
+// reduction; there is no Gram all-reduce at all.
+
+// DistributedOptions extends Options with the cluster shape.
+type DistributedOptions struct {
+	Options
+	Workers int              // cluster size (required, > 0)
+	Parts   int              // partitions per mode; default Workers
+	Method  partition.Method // GTP or MTP
+}
+
+// DistributedResult pairs the fit with the runtime's measurements.
+type DistributedResult struct {
+	Result
+	Cluster *cluster.RunStats
+}
+
+// DecomposeDistributed fits x's observed entries on an in-process
+// cluster. The result matches the centralized Decompose bit for bit
+// (given the same options): no cross-row reductions enter the factor
+// math, so distribution does not even reorder floating-point sums.
+func DecomposeDistributed(x *tensor.Tensor, o DistributedOptions) (*DistributedResult, error) {
+	opts, err := o.Options.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if o.Workers <= 0 {
+		return nil, fmt.Errorf("completion: workers must be positive, got %d", o.Workers)
+	}
+	if x.NNZ() == 0 {
+		return nil, ErrNoObservations
+	}
+	src := xrand.New(opts.Seed)
+	init := make([]*mat.Dense, x.Order())
+	for m, d := range x.Dims {
+		init[m] = mat.RandomUniform(d, opts.Rank, src)
+	}
+	plan := dplan.Build(x, o.Workers, o.Parts, o.Method)
+
+	job := &distJob{opts: opts, plan: plan, init: init}
+	cl := cluster.NewLocal(o.Workers)
+	stats, err := cl.Run(job.runWorker)
+	if err != nil {
+		return nil, err
+	}
+	if job.result == nil {
+		return nil, fmt.Errorf("completion: run completed without a result")
+	}
+	return &DistributedResult{
+		Result:  Result{Factors: job.result, Iters: job.iters, RMSE: job.rmse, RMSETrace: job.trace},
+		Cluster: stats,
+	}, nil
+}
+
+type distJob struct {
+	opts Options
+	plan *dplan.Plan
+	init []*mat.Dense
+
+	mu     sync.Mutex
+	result []*mat.Dense
+	iters  int
+	rmse   float64
+	trace  []float64
+}
+
+func (j *distJob) runWorker(w *cluster.Worker) error {
+	x := j.plan.Tensor
+	n := x.Order()
+	r := j.opts.Rank
+	me := w.Rank()
+
+	full := make([]*mat.Dense, n)
+	for m := range full {
+		full[m] = j.init[m].Clone()
+	}
+
+	// Group this worker's per-mode entries by row once; the pattern is
+	// fixed across sweeps. Entry order inside a row stays ascending, so
+	// the accumulation matches the centralized ModeView exactly.
+	rowEntries := make([]map[int32][]int32, n)
+	for m := 0; m < n; m++ {
+		rowEntries[m] = make(map[int32][]int32)
+		for _, e := range j.plan.EntryLists[me][m] {
+			row := x.Coords[int(e)*n+m]
+			rowEntries[m][row] = append(rowEntries[m][row], e)
+		}
+	}
+
+	h := make([]float64, r)
+	sys := mat.New(r, r)
+	rhs := mat.New(r, 1)
+	prev := math.Inf(1)
+	var trace []float64
+	iters := 0
+	for sweep := 0; sweep < j.opts.MaxIters; sweep++ {
+		for m := 0; m < n; m++ {
+			for _, row := range j.plan.OwnedSlices[m][me] {
+				entries := rowEntries[m][row]
+				if len(entries) == 0 {
+					continue // unobserved row keeps its value, as centralized does
+				}
+				j.solveRow(x, full, m, int(row), entries, h, sys, rhs)
+				w.AddWork(float64(len(entries))*float64(n+r)*float64(r) + float64(r*r*r))
+			}
+			if err := dplan.ExchangeRows(w, j.plan, m, full[m], false); err != nil {
+				return err
+			}
+		}
+		// RMSE over all observations: each worker owns the mode-0
+		// entries of its mode-0 slices, a disjoint cover.
+		var local float64
+		tmp := make([]float64, r)
+		for _, e := range j.plan.EntryLists[me][0] {
+			base := int(e) * n
+			for c := range tmp {
+				tmp[c] = 1
+			}
+			for k := 0; k < n; k++ {
+				rowv := full[k].Row(int(x.Coords[base+k]))
+				for c := range tmp {
+					tmp[c] *= rowv[c]
+				}
+			}
+			pred := 0.0
+			for _, v := range tmp {
+				pred += v
+			}
+			d := x.Vals[e] - pred
+			local += d * d
+		}
+		total, err := w.ReduceScalarSum(local)
+		if err != nil {
+			return err
+		}
+		rmse := math.Sqrt(total / float64(x.NNZ()))
+		iters = sweep + 1
+		trace = append(trace, rmse)
+		stop := relChange(prev, rmse) < j.opts.Tol
+		prev = rmse
+		if stop {
+			break
+		}
+	}
+
+	// Gather owned rows at rank 0.
+	var result []*mat.Dense
+	if me == 0 {
+		result = make([]*mat.Dense, n)
+	}
+	for m := 0; m < n; m++ {
+		owned := j.plan.OwnedSlices[m][me]
+		buf := make([]float64, 0, len(owned)*r)
+		for _, s := range owned {
+			buf = append(buf, full[m].Row(int(s))...)
+		}
+		parts, err := w.GatherBytes(0, cluster.EncodeFloat64s(buf))
+		if err != nil {
+			return err
+		}
+		if me != 0 {
+			continue
+		}
+		out := mat.New(full[m].Rows, r)
+		for rank, payload := range parts {
+			vals, err := cluster.DecodeFloat64s(payload)
+			if err != nil {
+				return err
+			}
+			rows := j.plan.OwnedSlices[m][rank]
+			if len(vals) != len(rows)*r {
+				return fmt.Errorf("completion: gather mode %d rank %d: %d values for %d rows", m, rank, len(vals), len(rows))
+			}
+			for i, s := range rows {
+				copy(out.Row(int(s)), vals[i*r:(i+1)*r])
+			}
+		}
+		result[m] = out
+	}
+	if me == 0 {
+		j.mu.Lock()
+		j.result = result
+		j.iters = iters
+		j.trace = trace
+		j.rmse = trace[len(trace)-1]
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// solveRow builds and solves one row's regularised normal system from
+// its observations — identical math to updateModeObserved.
+func (j *distJob) solveRow(x *tensor.Tensor, full []*mat.Dense, mode, row int, entries []int32, h []float64, sys, rhs *mat.Dense) {
+	n := x.Order()
+	r := len(h)
+	sys.Zero()
+	rhs.Zero()
+	for _, e := range entries {
+		base := int(e) * n
+		for c := range h {
+			h[c] = 1
+		}
+		for k := 0; k < n; k++ {
+			if k == mode {
+				continue
+			}
+			rowv := full[k].Row(int(x.Coords[base+k]))
+			for c := range h {
+				h[c] *= rowv[c]
+			}
+		}
+		v := x.Vals[e]
+		for i, hi := range h {
+			if hi == 0 {
+				continue
+			}
+			srow := sys.Row(i)
+			for jj, hj := range h {
+				srow[jj] += hi * hj
+			}
+			rhs.Data[i] += v * hi
+		}
+	}
+	for i := 0; i < r; i++ {
+		sys.Set(i, i, sys.At(i, i)+j.opts.Lambda)
+	}
+	sol, err := mat.SolveSPD(sys, rhs)
+	if err != nil {
+		for i := 0; i < r; i++ {
+			sys.Set(i, i, sys.At(i, i)+1e-6+j.opts.Lambda*10)
+		}
+		sol = mat.Transpose(mat.SolveRightRidge(mat.Transpose(rhs), sys))
+	}
+	copy(full[mode].Row(row), sol.Data)
+}

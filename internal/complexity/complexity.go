@@ -1,0 +1,100 @@
+// Package complexity encodes the paper's analytical results —
+// Theorem 2 (time), Theorem 3 (memory), and Theorem 4 (network
+// communication) — as executable formulas, so the test suite can check
+// that the implementation's *measured* counters (work units from the
+// cluster runtime, bytes from the transport, allocated state from the
+// plan) scale the way Section IV-C predicts.
+//
+// The formulas follow the paper's simplified setting: an N-th order
+// stream where every old mode has size I and grows by d, rank R, M
+// workers, and nnz = nnz(X \ X̃) complement entries. They are stated up
+// to constant factors, as the theorems are; the tests assert *ratios*
+// across parameter sweeps, never absolute values.
+package complexity
+
+// Params is the paper's parameter set for one streaming step.
+type Params struct {
+	N   int  // tensor order
+	I   int  // per-mode old size
+	D   int  // per-mode growth
+	R   int  // CP rank
+	M   int  // worker count
+	NNZ int  // nnz(X \ X̃)
+	MTP bool // partitioner: MTP sorts (I log I), GTP scans (I)
+}
+
+// TimeOps evaluates Theorem 2:
+//
+//	O(N(nnz·R + R³ + IR² + dR² + IR + dR + R² + I))          with GTP
+//	O(N(nnz·R + R³ + IR² + dR² + IR + dR + R² + I·log I))    with MTP
+func TimeOps(p Params) float64 {
+	n := float64(p.N)
+	i := float64(p.I)
+	d := float64(p.D)
+	r := float64(p.R)
+	nnz := float64(p.NNZ)
+	partition := i
+	if p.MTP {
+		partition = i * log2(i)
+	}
+	return n * (nnz*r + r*r*r + i*r*r + d*r*r + i*r + d*r + r*r + partition)
+}
+
+// MemoryFloats evaluates Theorem 3, in float64-equivalents:
+//
+//	O(nnz + MNR² + NIR + NdR)
+//
+// — the complement entries, the replicated R×R products on M workers,
+// and the factor matrices plus their MTTKRP buffers.
+func MemoryFloats(p Params) float64 {
+	n := float64(p.N)
+	i := float64(p.I)
+	d := float64(p.D)
+	r := float64(p.R)
+	m := float64(p.M)
+	return float64(p.NNZ) + m*n*r*r + n*i*r + n*d*r
+}
+
+// ImplMemoryFloats evaluates the memory of THIS implementation, which
+// deviates from Theorem 3 in one documented way: each worker holds a
+// full replica of every factor matrix (M·N·(I+d)·R instead of the
+// paper's collectively-owned N·(I+d)·R), trading memory for the simpler
+// subscription-based row exchange. The complement is additionally
+// indexed once per mode (N·nnz entry ids).
+func ImplMemoryFloats(p Params) float64 {
+	n := float64(p.N)
+	i := float64(p.I)
+	d := float64(p.D)
+	r := float64(p.R)
+	m := float64(p.M)
+	return float64(p.NNZ)*(1+n/2) + m*n*r*r + m*n*(i+d)*r
+}
+
+// CommBytes evaluates Theorem 4, in float64-equivalents transferred per
+// step:
+//
+//	O(nnz + MNR² + NIR + NdR)
+//
+// — shipping every complement entry to its mode partitions, the
+// all-to-all Gram reductions, and the factor rows exchanged among
+// partitions.
+func CommBytes(p Params) float64 {
+	n := float64(p.N)
+	i := float64(p.I)
+	d := float64(p.D)
+	r := float64(p.R)
+	m := float64(p.M)
+	return float64(p.NNZ) + m*n*r*r + n*i*r + n*d*r
+}
+
+func log2(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	l := 0.0
+	for x >= 2 {
+		x /= 2
+		l++
+	}
+	return l
+}

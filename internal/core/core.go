@@ -1,0 +1,642 @@
+// Package core implements DisMASTD itself — the distributed
+// multi-aspect streaming tensor decomposition of Section IV.
+//
+// One streaming step distributes the relative complement X \ X̃ across
+// M workers with a per-mode slice partitioning (GTP or MTP), replicates
+// the R×R intermediate products on every worker, and then iterates, per
+// mode:
+//
+//  1. distributed MTTKRP over each worker's local entries (IV-B1),
+//  2. row-wise factor update of the worker's owned rows (IV-B2),
+//  3. all-to-all reduction of the partial Gram products ÃᵀA⁰, A⁰ᵀA⁰,
+//     A¹ᵀA¹ (IV-B3),
+//  4. subscription-based exchange of the updated factor rows,
+//
+// and finally evaluates the loss by reusing the MTTKRP result and the
+// freshly reduced Gram products (IV-B4) — no second pass over the
+// tensor data.
+//
+// The update rules are identical to the centralized DTD of
+// internal/dtd; the equivalence tests in this package verify that the
+// distributed computation reproduces DTD's factors to floating-point
+// reordering tolerance.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"dismastd/internal/cluster"
+	"dismastd/internal/dplan"
+	"dismastd/internal/dtd"
+	"dismastd/internal/mat"
+	"dismastd/internal/partition"
+	"dismastd/internal/tensor"
+	"dismastd/internal/xrand"
+)
+
+// Options configures a distributed streaming step.
+type Options struct {
+	Rank     int     // R (required, > 0)
+	MaxIters int     // ALS sweeps per step; default 10
+	Tol      float64 // relative loss-change stop threshold; default 1e-6
+	Mu       float64 // forgetting factor; default 0.8
+	Seed     uint64  // growth-block initialisation seed; default 1
+
+	Workers int              // cluster size M (required, > 0)
+	Parts   int              // partitions per mode; default Workers
+	Method  partition.Method // GTP or MTP
+
+	// BroadcastRows replaces the subscription-based row exchange with a
+	// full broadcast of every owner's rows (ablation baseline).
+	BroadcastRows bool
+	// NaiveLoss recomputes the tensor-model inner product with a second
+	// pass over the entries instead of reusing the MTTKRP result
+	// (ablation baseline for the Section IV-B4 reuse).
+	NaiveLoss bool
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	opts := *o
+	if opts.Rank <= 0 {
+		return opts, fmt.Errorf("core: rank must be positive, got %d", opts.Rank)
+	}
+	if opts.Workers <= 0 {
+		return opts, fmt.Errorf("core: workers must be positive, got %d", opts.Workers)
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 10
+	}
+	if opts.Tol < 0 {
+		return opts, fmt.Errorf("core: negative tolerance %v", opts.Tol)
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-6
+	}
+	if opts.Mu == 0 {
+		opts.Mu = 0.8
+	}
+	if opts.Mu < 0 || opts.Mu > 1 {
+		return opts, fmt.Errorf("core: forgetting factor %v outside (0, 1]", opts.Mu)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Parts <= 0 {
+		opts.Parts = opts.Workers
+	}
+	return opts, nil
+}
+
+// StepStats reports one distributed streaming step.
+type StepStats struct {
+	Iters         int
+	Loss          float64
+	LossTrace     []float64
+	ComplementNNZ int
+	Imbalance     []float64         // per-mode partition load CV (Table IV statistic)
+	Cluster       *cluster.RunStats // measured traffic, work, wall time
+	SetupBytes    int64             // estimated one-time distribution cost (Theorem 4)
+}
+
+// Step advances the decomposition from prev to the new snapshot on an
+// in-process cluster of opts.Workers workers. prev is not modified.
+func Step(prev *dtd.State, snapshot *tensor.Tensor, o Options) (*dtd.State, *StepStats, error) {
+	job, err := NewStepJob(prev, snapshot, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl := cluster.NewLocal(job.opts.Workers)
+	runStats, err := cl.Run(job.RunWorker)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, stats, err := job.Result()
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Cluster = runStats
+	job.OverrideAlgoMetrics(runStats)
+	return st, stats, nil
+}
+
+// OverrideAlgoMetrics replaces the run's traffic counters with the
+// pre-collection snapshots recorded by each rank, so the reported
+// per-step traffic covers the algorithm's iterations only.
+func (j *StepJob) OverrideAlgoMetrics(stats *cluster.RunStats) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range stats.Ranks {
+		if i < len(j.algo) {
+			stats.Ranks[i].Metrics = j.algo[i]
+		}
+	}
+}
+
+// NewStepJob validates and prepares one distributed streaming step
+// without running it: the complement is extracted, partitioned, and the
+// initial stacked factors built. The caller then drives RunWorker once
+// per rank on a cluster of its choosing — Step uses an in-process
+// cluster; cmd/worker drives the same job across TCP processes, each
+// process constructing an identical job from the same inputs
+// (deterministic planning makes the SPMD replicas agree).
+func NewStepJob(prev *dtd.State, snapshot *tensor.Tensor, o Options) (*StepJob, error) {
+	opts, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkGrowth(prev, snapshot, opts.Rank); err != nil {
+		return nil, err
+	}
+	comp := snapshot.Complement(prev.Dims)
+	plan := dplan.Build(comp, opts.Workers, opts.Parts, opts.Method)
+	job := &StepJob{
+		opts:    opts,
+		newDims: append([]int(nil), snapshot.Dims...),
+		plan:    plan,
+		oldDims: prev.Dims,
+		tilde:   prev.Factors,
+		init:    initialFactors(prev, snapshot.Dims, opts),
+		algo:    make([]cluster.Metrics, opts.Workers),
+	}
+	job.precompute()
+	return job, nil
+}
+
+// Workers returns the cluster size the job was planned for.
+func (j *StepJob) Workers() int { return j.opts.Workers }
+
+// Result assembles the new state and summary statistics after every
+// rank's RunWorker has returned. The Cluster field of the stats is left
+// nil for the caller to fill with its runtime's measurements.
+func (j *StepJob) Result() (*dtd.State, *StepStats, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return nil, nil, ErrNoResult
+	}
+	stats := &StepStats{
+		Iters:         j.iters,
+		Loss:          j.finalLoss,
+		LossTrace:     j.lossTrace,
+		ComplementNNZ: j.plan.Tensor.NNZ(),
+		Imbalance:     j.plan.Imbalance(),
+		SetupBytes:    j.plan.SetupBytes(j.opts.Rank),
+	}
+	st := &dtd.State{Dims: append([]int(nil), j.newDims...), Factors: j.result}
+	return st, stats, nil
+}
+
+func checkGrowth(prev *dtd.State, snapshot *tensor.Tensor, rank int) error {
+	if snapshot.Order() != len(prev.Dims) {
+		return fmt.Errorf("%w: order %d vs %d", dtd.ErrDimsMismatch, snapshot.Order(), len(prev.Dims))
+	}
+	for m, d := range snapshot.Dims {
+		if d < prev.Dims[m] {
+			return fmt.Errorf("%w: mode %d shrank %d -> %d", dtd.ErrDimsMismatch, m, prev.Dims[m], d)
+		}
+	}
+	for m, f := range prev.Factors {
+		if f.Rows != prev.Dims[m] || f.Cols != rank {
+			return fmt.Errorf("core: previous factor %d is %dx%d, want %dx%d", m, f.Rows, f.Cols, prev.Dims[m], rank)
+		}
+	}
+	return nil
+}
+
+// initialFactors stacks the previous factors over seeded random growth
+// blocks, drawing in the same order as dtd.Step so both algorithms
+// start from identical matrices.
+func initialFactors(prev *dtd.State, newDims []int, opts Options) []*mat.Dense {
+	src := xrand.New(opts.Seed)
+	out := make([]*mat.Dense, len(newDims))
+	for m, d := range newDims {
+		growth := mat.RandomUniform(d-prev.Dims[m], opts.Rank, src)
+		out[m] = mat.StackRows(prev.Factors[m], growth)
+	}
+	return out
+}
+
+// StepJob carries the read-only shared inputs and the coordinator-side
+// outputs of one distributed step. Workers read the shared fields
+// concurrently; result fields are written only by rank 0 under mu.
+// Build one with NewStepJob.
+type StepJob struct {
+	opts    Options
+	newDims []int
+	plan    *dplan.Plan
+	oldDims []int
+	tilde   []*mat.Dense // previous factors, read-only
+	init    []*mat.Dense // initial stacked factors, read-only
+
+	cTilde     float64
+	compNormSq float64
+
+	mu        sync.Mutex
+	result    []*mat.Dense
+	iters     int
+	finalLoss float64
+	lossTrace []float64
+	algo      []cluster.Metrics // per-rank traffic before result collection
+}
+
+func (j *StepJob) precompute() {
+	n := len(j.tilde)
+	grams := make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		grams[m] = mat.Gram(j.tilde[m])
+	}
+	j.cTilde = mat.SumAll(mat.HadamardAll(grams...))
+	j.compNormSq = j.plan.Tensor.NormSq()
+}
+
+// gramState is the replicated R×R intermediate set for one mode.
+type gramState struct {
+	g0    *mat.Dense // A^(0)ᵀA^(0)
+	g1    *mat.Dense // A^(1)ᵀA^(1)
+	cross *mat.Dense // ÃᵀA^(0)
+}
+
+// RunWorker is the SPMD body executed by every rank. It must be called
+// exactly once per rank of a cluster of Workers() size.
+func (j *StepJob) RunWorker(w *cluster.Worker) error {
+	n := len(j.init)
+	r := j.opts.Rank
+	me := w.Rank()
+
+	// Local replica of the stacked factors.
+	full := make([]*mat.Dense, n)
+	for m := range full {
+		full[m] = j.init[m].Clone()
+	}
+
+	// Replicated Gram state, established by an initial all-reduce of
+	// per-owner partials.
+	grams := make([]*gramState, n)
+	for m := 0; m < n; m++ {
+		gs, err := j.reduceGrams(w, m, full[m])
+		if err != nil {
+			return err
+		}
+		grams[m] = gs
+	}
+
+	// Per-mode MTTKRP buffers, reused across sweeps (zeroed each time)
+	// to avoid re-allocating I_n x R matrices in the hot loop.
+	mbuf := make([]*mat.Dense, n)
+	for m := range mbuf {
+		mbuf[m] = mat.New(full[m].Rows, r)
+	}
+	var lastM *mat.Dense
+	prevLoss := math.Inf(1)
+	var trace []float64
+	iters := 0
+	for sweep := 0; sweep < j.opts.MaxIters; sweep++ {
+		for m := 0; m < n; m++ {
+			// 1. Distributed MTTKRP over this worker's mode-m entries.
+			M := mbuf[m]
+			M.Zero()
+			j.localMTTKRP(w, M, m, full)
+
+			// 2. Row-wise update of owned rows.
+			d1 := hadamardExcept(grams, m, r, func(g *gramState) *mat.Dense {
+				s := mat.New(r, r)
+				s.Add(g.g0, g.g1)
+				return s
+			})
+			g0prod := hadamardExcept(grams, m, r, func(g *gramState) *mat.Dense { return g.g0 })
+			hprod := hadamardExcept(grams, m, r, func(g *gramState) *mat.Dense { return g.cross })
+			d0 := mat.New(r, r)
+			d0.Scale(-(1 - j.opts.Mu), g0prod)
+			d0.Add(d0, d1)
+
+			j.updateOwnedRows(w, m, full[m], M, d0, d1, hprod)
+
+			// 3. All-to-all reduction of the partial Gram products.
+			gs, err := j.reduceGrams(w, m, full[m])
+			if err != nil {
+				return err
+			}
+			grams[m] = gs
+
+			// 4. Push updated rows to subscribers.
+			if err := dplan.ExchangeRows(w, j.plan, m, full[m], j.opts.BroadcastRows); err != nil {
+				return err
+			}
+			lastM = M
+		}
+
+		loss, err := j.distributedLoss(w, grams, lastM, full)
+		if err != nil {
+			return err
+		}
+		iters = sweep + 1
+		trace = append(trace, loss)
+		stop := relChange(prevLoss, loss) < j.opts.Tol
+		prevLoss = loss
+		if stop {
+			break
+		}
+	}
+
+	// Record algorithm-only traffic: the result gather below is a
+	// one-time O(NIR) collection, already covered by the Theorem 4
+	// setup/teardown term, not a per-iteration cost.
+	j.mu.Lock()
+	j.algo[me] = w.MetricsSnapshot()
+	j.mu.Unlock()
+
+	if err := j.gatherResult(w, full); err != nil {
+		return err
+	}
+	if me == 0 {
+		j.mu.Lock()
+		j.iters = iters
+		j.lossTrace = trace
+		j.finalLoss = trace[len(trace)-1]
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// localMTTKRP accumulates this worker's entries into the owned rows of
+// M (flat kernel over the plan's per-mode entry list).
+func (j *StepJob) localMTTKRP(w *cluster.Worker, M *mat.Dense, mode int, full []*mat.Dense) {
+	comp := j.plan.Tensor
+	n := comp.Order()
+	r := M.Cols
+	tmp := make([]float64, r)
+	entries := j.plan.EntryLists[w.Rank()][mode]
+	for _, e := range entries {
+		base := int(e) * n
+		v := comp.Vals[e]
+		for c := range tmp {
+			tmp[c] = v
+		}
+		for k := 0; k < n; k++ {
+			if k == mode {
+				continue
+			}
+			row := full[k].Row(int(comp.Coords[base+k]))
+			for c := range tmp {
+				tmp[c] *= row[c]
+			}
+		}
+		out := M.Row(int(comp.Coords[base+mode]))
+		for c := range tmp {
+			out[c] += tmp[c]
+		}
+	}
+	w.AddWork(float64(len(entries)) * float64(n) * float64(r))
+}
+
+// updateOwnedRows applies the Eq. (5) row-wise updates to the rows this
+// worker owns in the given mode, in place.
+func (j *StepJob) updateOwnedRows(w *cluster.Worker, mode int, factor, M, d0, d1, hprod *mat.Dense) {
+	r := factor.Cols
+	old := j.oldDims[mode]
+	owned := j.plan.OwnedSlices[mode][w.Rank()]
+
+	var oldRows, newRows []int32
+	for _, s := range owned {
+		if int(s) < old {
+			oldRows = append(oldRows, s)
+		} else {
+			newRows = append(newRows, s)
+		}
+	}
+
+	if len(oldRows) > 0 {
+		// Numerator block: μ·Ã[rows]·Hprod + M[rows].
+		tblock := mat.New(len(oldRows), r)
+		for i, s := range oldRows {
+			copy(tblock.Row(i), j.tilde[mode].Row(int(s)))
+		}
+		num := mat.Mul(tblock, hprod)
+		num.Scale(j.opts.Mu, num)
+		for i, s := range oldRows {
+			row := num.Row(i)
+			src := M.Row(int(s))
+			for c := range row {
+				row[c] += src[c]
+			}
+		}
+		sol := mat.SolveRightRidge(num, d0)
+		for i, s := range oldRows {
+			copy(factor.Row(int(s)), sol.Row(i))
+		}
+	}
+	if len(newRows) > 0 {
+		num := mat.New(len(newRows), r)
+		for i, s := range newRows {
+			copy(num.Row(i), M.Row(int(s)))
+		}
+		sol := mat.SolveRightRidge(num, d1)
+		for i, s := range newRows {
+			copy(factor.Row(int(s)), sol.Row(i))
+		}
+	}
+	// Old rows pay the μ·Ã·Hprod product plus the solve (2R² each), new
+	// rows just the solve (R²); the two R×R factorisations are R³ each.
+	rr := float64(r) * float64(r)
+	w.AddWork((2*float64(len(oldRows))+float64(len(newRows)))*rr + 2*float64(r)*rr)
+}
+
+// reduceGrams computes this worker's partial ÃᵀA⁰, A⁰ᵀA⁰, A¹ᵀA¹ over its
+// owned rows and all-reduces the three matrices in one batched vector.
+func (j *StepJob) reduceGrams(w *cluster.Worker, mode int, factor *mat.Dense) (*gramState, error) {
+	r := factor.Cols
+	old := j.oldDims[mode]
+	g0 := mat.New(r, r)
+	g1 := mat.New(r, r)
+	cross := mat.New(r, r)
+	owned := j.plan.OwnedSlices[mode][w.Rank()]
+	oldRows := 0
+	for _, s := range owned {
+		row := factor.Row(int(s))
+		if int(s) < old {
+			accumOuter(g0, row, row)
+			accumOuter(cross, j.tilde[mode].Row(int(s)), row)
+			oldRows++
+		} else {
+			accumOuter(g1, row, row)
+		}
+	}
+	// Old rows contribute two outer products (G⁰ and the cross term),
+	// new rows one.
+	w.AddWork((2*float64(oldRows) + float64(len(owned)-oldRows)) * float64(r) * float64(r))
+
+	batch := make([]float64, 0, 3*r*r)
+	batch = append(batch, g0.Data...)
+	batch = append(batch, g1.Data...)
+	batch = append(batch, cross.Data...)
+	sum, err := w.AllReduceSum(batch)
+	if err != nil {
+		return nil, err
+	}
+	return &gramState{
+		g0:    mat.NewFrom(r, r, sum[:r*r]),
+		g1:    mat.NewFrom(r, r, sum[r*r:2*r*r]),
+		cross: mat.NewFrom(r, r, sum[2*r*r:]),
+	}, nil
+}
+
+// accumOuter adds aᵀb (outer product of two row vectors) into dst.
+func accumOuter(dst *mat.Dense, a, b []float64) {
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		row := dst.Row(i)
+		for c, bv := range b {
+			row[c] += av * bv
+		}
+	}
+}
+
+// distributedLoss evaluates √L of Eq. (4). Every term except the tensor
+// inner product comes from the replicated Gram state; the inner product
+// reuses the final mode's MTTKRP rows (owned rows only, reduced), or —
+// under the NaiveLoss ablation — a full second pass over the entries.
+func (j *StepJob) distributedLoss(w *cluster.Worker, grams []*gramState, lastM *mat.Dense, full []*mat.Dense) (float64, error) {
+	n := len(full)
+	r := j.opts.Rank
+
+	var localInner float64
+	if j.opts.NaiveLoss {
+		comp := j.plan.Tensor
+		tmp := make([]float64, r)
+		entries := j.plan.EntryLists[w.Rank()][n-1]
+		for _, e := range entries {
+			base := int(e) * n
+			for c := range tmp {
+				tmp[c] = 1
+			}
+			for k := 0; k < n; k++ {
+				row := full[k].Row(int(comp.Coords[base+k]))
+				for c := range tmp {
+					tmp[c] *= row[c]
+				}
+			}
+			s := 0.0
+			for _, v := range tmp {
+				s += v
+			}
+			localInner += comp.Vals[e] * s
+		}
+		w.AddWork(float64(len(entries)) * float64(n) * float64(r))
+	} else {
+		last := n - 1
+		for _, s := range j.plan.OwnedSlices[last][w.Rank()] {
+			mrow := lastM.Row(int(s))
+			arow := full[last].Row(int(s))
+			for c := range mrow {
+				localInner += mrow[c] * arow[c]
+			}
+		}
+		w.AddWork(float64(len(j.plan.OwnedSlices[last][w.Rank()])) * float64(r))
+	}
+	inner, err := w.ReduceScalarSum(localInner)
+	if err != nil {
+		return 0, err
+	}
+
+	fullG := make([]*mat.Dense, n)
+	zeroG := make([]*mat.Dense, n)
+	crossG := make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		s := mat.New(r, r)
+		s.Add(grams[m].g0, grams[m].g1)
+		fullG[m] = s
+		zeroG[m] = grams[m].g0
+		crossG[m] = grams[m].cross
+	}
+	model0Sq := mat.SumAll(mat.HadamardAll(zeroG...))
+	modelFullSq := mat.SumAll(mat.HadamardAll(fullG...))
+	crossOld := mat.SumAll(mat.HadamardAll(crossG...))
+
+	oldTerm := j.opts.Mu * (j.cTilde + model0Sq - 2*crossOld)
+	newTerm := j.compNormSq - 2*inner + (modelFullSq - model0Sq)
+	l := oldTerm + newTerm
+	if l < 0 {
+		l = 0
+	}
+	return math.Sqrt(l), nil
+}
+
+// gatherResult collects every worker's owned rows at rank 0 and
+// assembles the final factors there.
+func (j *StepJob) gatherResult(w *cluster.Worker, full []*mat.Dense) error {
+	n := len(full)
+	r := j.opts.Rank
+	var result []*mat.Dense
+	if w.Rank() == 0 {
+		result = make([]*mat.Dense, n)
+	}
+	for m := 0; m < n; m++ {
+		owned := j.plan.OwnedSlices[m][w.Rank()]
+		buf := make([]float64, 0, len(owned)*r)
+		for _, s := range owned {
+			buf = append(buf, full[m].Row(int(s))...)
+		}
+		parts, err := w.GatherBytes(0, cluster.EncodeFloat64s(buf))
+		if err != nil {
+			return err
+		}
+		if w.Rank() != 0 {
+			continue
+		}
+		out := mat.New(full[m].Rows, r)
+		for rank, payload := range parts {
+			vals, err := cluster.DecodeFloat64s(payload)
+			if err != nil {
+				return err
+			}
+			rows := j.plan.OwnedSlices[m][rank]
+			if len(vals) != len(rows)*r {
+				return fmt.Errorf("core: gather mode %d rank %d: %d values for %d rows", m, rank, len(vals), len(rows))
+			}
+			for i, s := range rows {
+				copy(out.Row(int(s)), vals[i*r:(i+1)*r])
+			}
+		}
+		result[m] = out
+	}
+	if w.Rank() == 0 {
+		j.mu.Lock()
+		j.result = result
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+func hadamardExcept(grams []*gramState, mode, r int, pick func(*gramState) *mat.Dense) *mat.Dense {
+	var out *mat.Dense
+	for k, g := range grams {
+		if k == mode {
+			continue
+		}
+		if out == nil {
+			out = pick(g).Clone()
+		} else {
+			out.Hadamard(out, pick(g))
+		}
+	}
+	if out == nil {
+		out = mat.Eye(r)
+	}
+	return out
+}
+
+func relChange(prev, cur float64) float64 {
+	if math.IsInf(prev, 1) {
+		return math.Inf(1)
+	}
+	return math.Abs(prev-cur) / math.Max(prev, 1e-12)
+}
+
+// ErrNoResult is returned when a run completes without rank 0
+// assembling factors (should not happen; defensive).
+var ErrNoResult = errors.New("core: run completed without a result")

@@ -1,0 +1,81 @@
+package cp
+
+import (
+	"fmt"
+	"math"
+
+	"dismastd/internal/mat"
+)
+
+// Normalize rescales each factor's columns to unit Euclidean norm and
+// returns the per-component weights λ_r = ∏_k ‖A_k[:,r]‖, ordered as
+// the columns are. After normalisation the model is
+// Σ_r λ_r · a_1r ∘ … ∘ a_Nr, the standard interpretable form: λ ranks
+// the components by energy, and the unit columns are comparable across
+// modes (the trend-analysis example relies on this). Zero columns get
+// weight 0 and are left untouched. Factors are modified in place.
+func Normalize(factors []*mat.Dense) []float64 {
+	if len(factors) == 0 {
+		panic("cp: Normalize of no factors")
+	}
+	r := factors[0].Cols
+	lambda := make([]float64, r)
+	for i := range lambda {
+		lambda[i] = 1
+	}
+	for _, f := range factors {
+		if f.Cols != r {
+			panic(fmt.Sprintf("cp: Normalize with ragged ranks %d vs %d", f.Cols, r))
+		}
+		for c := 0; c < r; c++ {
+			var ss float64
+			for i := 0; i < f.Rows; i++ {
+				v := f.At(i, c)
+				ss += v * v
+			}
+			norm := math.Sqrt(ss)
+			if norm == 0 {
+				lambda[c] = 0
+				continue
+			}
+			lambda[c] *= norm
+			inv := 1 / norm
+			for i := 0; i < f.Rows; i++ {
+				f.Set(i, c, f.At(i, c)*inv)
+			}
+		}
+	}
+	return lambda
+}
+
+// Denormalize folds the weights back into the first factor's columns,
+// inverting Normalize (up to the usual scale-distribution ambiguity):
+// Reconstruct over the result equals λ-weighted reconstruction over the
+// normalised factors.
+func Denormalize(factors []*mat.Dense, lambda []float64) {
+	if len(factors) == 0 || len(lambda) != factors[0].Cols {
+		panic("cp: Denormalize with mismatched lambda")
+	}
+	f := factors[0]
+	for c, l := range lambda {
+		for i := 0; i < f.Rows; i++ {
+			f.Set(i, c, f.At(i, c)*l)
+		}
+	}
+}
+
+// ComponentOrder returns the component indices sorted by descending
+// weight — the order in which to inspect or truncate components.
+func ComponentOrder(lambda []float64) []int {
+	order := make([]int, len(lambda))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: R is small.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && lambda[order[j]] > lambda[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}

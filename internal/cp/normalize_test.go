@@ -1,0 +1,97 @@
+package cp
+
+import (
+	"math"
+	"testing"
+
+	"dismastd/internal/mat"
+	"dismastd/internal/xrand"
+)
+
+func TestNormalizePreservesModel(t *testing.T) {
+	src := xrand.New(1)
+	factors := []*mat.Dense{
+		mat.RandomGaussian(6, 3, src),
+		mat.RandomGaussian(5, 3, src),
+		mat.RandomGaussian(4, 3, src),
+	}
+	// Record model values before.
+	var before []float64
+	for i := 0; i < 6; i++ {
+		before = append(before, Reconstruct(factors, []int{i, i % 5, i % 4}))
+	}
+	lambda := Normalize(factors)
+	// Unit columns.
+	for m, f := range factors {
+		for c := 0; c < 3; c++ {
+			var ss float64
+			for i := 0; i < f.Rows; i++ {
+				ss += f.At(i, c) * f.At(i, c)
+			}
+			if math.Abs(math.Sqrt(ss)-1) > 1e-12 {
+				t.Fatalf("mode %d column %d norm %v", m, c, math.Sqrt(ss))
+			}
+		}
+	}
+	// λ-weighted reconstruction matches the original model.
+	for i, want := range before {
+		got := 0.0
+		for c := 0; c < 3; c++ {
+			got += lambda[c] * factors[0].At(i, c) * factors[1].At(i%5, c) * factors[2].At(i%4, c)
+		}
+		if math.Abs(got-want) > 1e-10*(1+math.Abs(want)) {
+			t.Fatalf("value %d changed: %v vs %v", i, got, want)
+		}
+	}
+	// Denormalize restores plain Reconstruct equivalence.
+	Denormalize(factors, lambda)
+	for i, want := range before {
+		got := Reconstruct(factors, []int{i, i % 5, i % 4})
+		if math.Abs(got-want) > 1e-10*(1+math.Abs(want)) {
+			t.Fatalf("denormalized value %d: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestNormalizeZeroColumn(t *testing.T) {
+	f0 := mat.NewFrom(2, 2, []float64{1, 0, 2, 0})
+	f1 := mat.NewFrom(2, 2, []float64{3, 0, 4, 0})
+	lambda := Normalize([]*mat.Dense{f0, f1})
+	if lambda[1] != 0 {
+		t.Fatalf("zero column weight %v", lambda[1])
+	}
+	if lambda[0] <= 0 {
+		t.Fatalf("live column weight %v", lambda[0])
+	}
+}
+
+func TestComponentOrder(t *testing.T) {
+	order := ComponentOrder([]float64{1, 5, 3, 5})
+	if order[0] != 1 && order[0] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	// Descending weights.
+	l := []float64{1, 5, 3, 5}
+	for i := 1; i < len(order); i++ {
+		if l[order[i]] > l[order[i-1]] {
+			t.Fatalf("order %v not descending", order)
+		}
+	}
+}
+
+func TestNormalizePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":  func() { Normalize(nil) },
+		"ragged": func() { Normalize([]*mat.Dense{mat.New(2, 2), mat.New(2, 3)}) },
+		"denorm": func() { Denormalize([]*mat.Dense{mat.New(2, 2)}, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,258 @@
+// Package dplan builds the data-distribution plan shared by the
+// distributed decomposition algorithms (DisMASTD in internal/core and
+// the DMS-MG baseline in internal/dmsmg):
+//
+//   - per-mode slice partitioning via GTP or MTP (Section IV-A2),
+//   - assignment of partitions to workers,
+//   - per-(worker, mode) entry lists — the row-wise tensor distribution
+//     of Fig. 4, one 1-D decomposition per mode,
+//   - factor-row ownership and the static row-subscription lists that
+//     drive the post-update row exchange (Section IV-A3: "we assign all
+//     the related factor matrices to the corresponding tensor
+//     partitions in a row-wise pattern").
+//
+// The plan is computed once per snapshot step: the sparsity pattern is
+// fixed across the ALS sweeps, so subscriptions never change within a
+// step.
+package dplan
+
+import (
+	"fmt"
+	"sort"
+
+	"dismastd/internal/cluster"
+	"dismastd/internal/mat"
+	"dismastd/internal/partition"
+	"dismastd/internal/tensor"
+)
+
+// Plan is the full data distribution for one snapshot step.
+type Plan struct {
+	Tensor  *tensor.Tensor // the entries driving MTTKRP (complement or full snapshot)
+	Dims    []int
+	Workers int
+	Parts   int // partitions per mode (≥ Workers means finer grain)
+	Method  partition.Method
+
+	ModePlans []*partition.ModePlan // per-mode slice -> partition
+	Owner     [][]int32             // [mode][slice] -> owning worker
+
+	// EntryLists[w][mode] lists the tensor entry ids whose mode
+	// coordinate falls in worker w's mode partitions.
+	EntryLists [][][]int32
+
+	// OwnedSlices[mode][w] lists every slice (including empty ones)
+	// worker w owns in that mode — the factor rows it updates.
+	OwnedSlices [][][]int32
+
+	// Needs[mode][w] lists the mode-rows worker w must read during
+	// MTTKRP of the *other* modes, sorted ascending. Owned rows are
+	// excluded (they are always locally fresh).
+	Needs [][][]int32
+
+	// SendLists[mode][owner][sub] is Needs[mode][sub] restricted to the
+	// rows owner holds: the rows owner pushes to sub after updating the
+	// mode. nil when owner == sub or the intersection is empty.
+	SendLists [][][][]int32
+}
+
+// Build computes a plan for distributing t's entries across workers
+// with parts partitions per mode. parts > workers spreads several
+// partitions per worker round-robin; parts < workers leaves the excess
+// workers idle (the left side of the Fig. 6 U-curve, where parallelism
+// is limited by the partition count).
+func Build(t *tensor.Tensor, workers, parts int, method partition.Method) *Plan {
+	if workers <= 0 {
+		panic(fmt.Sprintf("dplan: %d workers", workers))
+	}
+	if parts <= 0 {
+		parts = workers
+	}
+	n := t.Order()
+	p := &Plan{
+		Tensor:  t,
+		Dims:    append([]int(nil), t.Dims...),
+		Workers: workers,
+		Parts:   parts,
+		Method:  method,
+	}
+	p.ModePlans = make([]*partition.ModePlan, n)
+	p.Owner = make([][]int32, n)
+	for m := 0; m < n; m++ {
+		mp := partition.Partition(t.SliceNNZ(m), parts, method)
+		mp.Mode = m
+		p.ModePlans[m] = mp
+		owner := make([]int32, t.Dims[m])
+		for i, part := range mp.Assign {
+			owner[i] = part % int32(workers) // round-robin partitions onto workers
+		}
+		p.Owner[m] = owner
+	}
+
+	p.EntryLists = make([][][]int32, workers)
+	for w := range p.EntryLists {
+		p.EntryLists[w] = make([][]int32, n)
+	}
+	for e := 0; e < t.NNZ(); e++ {
+		base := e * n
+		for m := 0; m < n; m++ {
+			w := p.Owner[m][t.Coords[base+m]]
+			p.EntryLists[w][m] = append(p.EntryLists[w][m], int32(e))
+		}
+	}
+
+	p.OwnedSlices = make([][][]int32, n)
+	for m := 0; m < n; m++ {
+		p.OwnedSlices[m] = make([][]int32, workers)
+		for i, w := range p.Owner[m] {
+			p.OwnedSlices[m][w] = append(p.OwnedSlices[m][w], int32(i))
+		}
+	}
+
+	p.buildSubscriptions()
+	return p
+}
+
+func (p *Plan) buildSubscriptions() {
+	n := len(p.Dims)
+	t := p.Tensor
+	p.Needs = make([][][]int32, n)
+	for m := 0; m < n; m++ {
+		p.Needs[m] = make([][]int32, p.Workers)
+	}
+	// For each worker, union the mode-m coordinates appearing in its
+	// entry lists of modes k ≠ m.
+	for w := 0; w < p.Workers; w++ {
+		needed := make([]map[int32]struct{}, n)
+		for m := range needed {
+			needed[m] = make(map[int32]struct{})
+		}
+		for k := 0; k < n; k++ {
+			for _, e := range p.EntryLists[w][k] {
+				base := int(e) * n
+				for m := 0; m < n; m++ {
+					if m == k {
+						continue
+					}
+					needed[m][t.Coords[base+m]] = struct{}{}
+				}
+			}
+		}
+		for m := 0; m < n; m++ {
+			rows := make([]int32, 0, len(needed[m]))
+			for r := range needed[m] {
+				if p.Owner[m][r] != int32(w) { // owned rows are locally fresh
+					rows = append(rows, r)
+				}
+			}
+			sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+			p.Needs[m][w] = rows
+		}
+	}
+	p.SendLists = make([][][][]int32, n)
+	for m := 0; m < n; m++ {
+		p.SendLists[m] = make([][][]int32, p.Workers)
+		for o := 0; o < p.Workers; o++ {
+			p.SendLists[m][o] = make([][]int32, p.Workers)
+		}
+		for s := 0; s < p.Workers; s++ {
+			for _, r := range p.Needs[m][s] {
+				o := p.Owner[m][r]
+				p.SendLists[m][o][s] = append(p.SendLists[m][o][s], r)
+			}
+		}
+	}
+}
+
+// Imbalance returns the per-mode partition load imbalance (coefficient
+// of variation of partition nnz) — the Table IV statistic.
+func (p *Plan) Imbalance() []float64 {
+	out := make([]float64, len(p.ModePlans))
+	for m, mp := range p.ModePlans {
+		out[m] = mp.ImbalanceStdDev()
+	}
+	return out
+}
+
+// SetupBytes estimates the one-time data-distribution communication of
+// Theorem 4: every non-zero entry shipped to its N mode partitions
+// (coordinates + value) plus every factor row shipped to its owner.
+func (p *Plan) SetupBytes(rank int) int64 {
+	n := len(p.Dims)
+	entryBytes := int64(p.Tensor.NNZ()) * int64(n) * int64(4*n+8)
+	var rowBytes int64
+	for _, d := range p.Dims {
+		rowBytes += int64(d) * int64(8*rank)
+	}
+	return entryBytes + rowBytes
+}
+
+// ExchangeRows pushes the freshly updated owned rows of factor (which
+// is the full mode-m matrix, locally replicated) to every subscriber
+// and pulls the rows this worker subscribes to. All workers must call
+// it in lockstep after updating mode m. When broadcast is true the full
+// owned row set goes to every other worker regardless of need — the
+// row-subscription ablation baseline.
+func ExchangeRows(w *cluster.Worker, p *Plan, mode int, factor *mat.Dense, broadcast bool) error {
+	me := w.Rank()
+	tag := w.UniqueTag(fmt.Sprintf("rows/%d", mode))
+	r := factor.Cols
+
+	sendRows := func(to int, rows []int32) error {
+		buf := make([]float64, 0, len(rows)*r)
+		for _, row := range rows {
+			buf = append(buf, factor.Row(int(row))...)
+		}
+		return w.Send(to, tag, cluster.EncodeFloat64s(buf))
+	}
+
+	// Send phase: unbounded mailboxes make sends non-blocking, so all
+	// sends complete before any receive.
+	for s := 0; s < w.Size(); s++ {
+		if s == me {
+			continue
+		}
+		var rows []int32
+		if broadcast {
+			rows = p.OwnedSlices[mode][me]
+		} else {
+			rows = p.SendLists[mode][me][s]
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		if err := sendRows(s, rows); err != nil {
+			return err
+		}
+	}
+	// Receive phase: scatter incoming rows into the local replica.
+	for o := 0; o < w.Size(); o++ {
+		if o == me {
+			continue
+		}
+		var rows []int32
+		if broadcast {
+			rows = p.OwnedSlices[mode][o]
+		} else {
+			rows = p.SendLists[mode][o][me]
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		payload, err := w.Recv(o, tag)
+		if err != nil {
+			return err
+		}
+		vals, err := cluster.DecodeFloat64s(payload)
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(rows)*r {
+			return fmt.Errorf("dplan: row exchange from %d mode %d: %d values for %d rows", o, mode, len(vals), len(rows))
+		}
+		for i, row := range rows {
+			copy(factor.Row(int(row)), vals[i*r:(i+1)*r])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+// Package dtd implements the Dynamic Tensor Decomposition of
+// Algorithm 1 for multi-aspect streaming tensors of arbitrary order —
+// the centralized algorithm DisMASTD distributes.
+//
+// Given the previous snapshot's CP factors {Ã_n} and the new snapshot
+// X, DTD splits each factor into an old-region block A_n^(0) (rows
+// 0..I_n) initialised from Ã_n and a growth block A_n^(1) (rows
+// I_n..I_n+d_n) initialised randomly, then alternates the update rules
+// of Eq. (5):
+//
+//	A_n^(0) ← [ μ·Ã_n·(∗_{k≠n} Ã_kᵀA_k^(0)) + M_n^(0) ] · D_0⁻¹
+//	A_n^(1) ←                               M_n^(1)   · D_1⁻¹
+//	D_1 = ∗_{k≠n}(A_kᵀA_k),  D_0 = D_1 − (1−μ)·∗_{k≠n}(A_k^(0)ᵀA_k^(0))
+//
+// where M_n is the MTTKRP of the relative complement X \ X̃ with the
+// full stacked factors — the only place the tensor data appears, which
+// is why the old snapshot's entries never need to be touched again.
+package dtd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dismastd/internal/cp"
+	"dismastd/internal/mat"
+	"dismastd/internal/mttkrp"
+	"dismastd/internal/tensor"
+	"dismastd/internal/xrand"
+)
+
+// Options controls a DTD streaming step.
+type Options struct {
+	Rank     int     // R (required, > 0)
+	MaxIters int     // maximum ALS sweeps per step; default 10 (the paper's setting)
+	Tol      float64 // stop when the relative loss change falls below Tol; default 1e-6
+	Mu       float64 // forgetting factor μ in (0, 1]; default 0.8 (the paper's setting)
+	Seed     uint64  // growth-block initialisation seed; default 1
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	opts := *o
+	if opts.Rank <= 0 {
+		return opts, fmt.Errorf("dtd: rank must be positive, got %d", opts.Rank)
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 10
+	}
+	if opts.Tol < 0 {
+		return opts, fmt.Errorf("dtd: negative tolerance %v", opts.Tol)
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-6
+	}
+	if opts.Mu == 0 {
+		opts.Mu = 0.8
+	}
+	if opts.Mu < 0 || opts.Mu > 1 {
+		return opts, fmt.Errorf("dtd: forgetting factor %v outside (0, 1]", opts.Mu)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return opts, nil
+}
+
+// State is the decomposition carried between streaming steps: the
+// snapshot's mode sizes and one full factor matrix per mode.
+type State struct {
+	Dims    []int
+	Factors []*mat.Dense
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	out := &State{Dims: append([]int(nil), s.Dims...)}
+	for _, f := range s.Factors {
+		out.Factors = append(out.Factors, f.Clone())
+	}
+	return out
+}
+
+// Stats reports what one streaming step did.
+type Stats struct {
+	Iters         int
+	Loss          float64   // final √L of Eq. (4)
+	LossTrace     []float64 // loss after each sweep
+	ComplementNNZ int       // nnz(X \ X̃) — the data the step touched
+}
+
+// ErrDimsMismatch reports a snapshot incompatible with the previous
+// state (wrong order, or a mode that shrank).
+var ErrDimsMismatch = errors.New("dtd: snapshot dims incompatible with previous state")
+
+// Init decomposes the first snapshot with static CP-ALS and returns the
+// initial streaming state.
+func Init(x *tensor.Tensor, o Options) (*State, *Stats, error) {
+	opts, err := o.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := cp.Decompose(x, cp.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Seed: opts.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &State{Dims: append([]int(nil), x.Dims...), Factors: res.Factors}
+	stats := &Stats{Iters: res.Iters, Loss: res.Loss, LossTrace: res.LossTrace, ComplementNNZ: x.NNZ()}
+	return st, stats, nil
+}
+
+// Step advances the decomposition from prev to the new snapshot,
+// touching only the relative complement of the two snapshots
+// (Algorithm 1). prev is not modified.
+func Step(prev *State, snapshot *tensor.Tensor, o Options) (*State, *Stats, error) {
+	opts, err := o.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := checkGrowth(prev, snapshot, opts.Rank); err != nil {
+		return nil, nil, err
+	}
+
+	n := snapshot.Order()
+	oldDims := prev.Dims
+	comp := snapshot.Complement(oldDims)
+
+	// Stack old factors over randomly initialised growth blocks.
+	src := xrand.New(opts.Seed)
+	full := make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		growth := mat.RandomUniform(snapshot.Dims[m]-oldDims[m], opts.Rank, src)
+		full[m] = mat.StackRows(prev.Factors[m], growth)
+	}
+
+	it := newIteration(prev, comp, full, oldDims, opts)
+	stats := &Stats{ComplementNNZ: comp.NNZ()}
+	prevLoss := math.Inf(1)
+	for sweep := 0; sweep < opts.MaxIters; sweep++ {
+		it.sweep()
+		stats.Iters = sweep + 1
+		stats.Loss = it.loss()
+		stats.LossTrace = append(stats.LossTrace, stats.Loss)
+		if relChange(prevLoss, stats.Loss) < opts.Tol {
+			break
+		}
+		prevLoss = stats.Loss
+	}
+	return &State{Dims: append([]int(nil), snapshot.Dims...), Factors: full}, stats, nil
+}
+
+func checkGrowth(prev *State, snapshot *tensor.Tensor, rank int) error {
+	if snapshot.Order() != len(prev.Dims) {
+		return fmt.Errorf("%w: order %d vs %d", ErrDimsMismatch, snapshot.Order(), len(prev.Dims))
+	}
+	for m, d := range snapshot.Dims {
+		if d < prev.Dims[m] {
+			return fmt.Errorf("%w: mode %d shrank %d -> %d", ErrDimsMismatch, m, prev.Dims[m], d)
+		}
+	}
+	for m, f := range prev.Factors {
+		if f.Rows != prev.Dims[m] || f.Cols != rank {
+			return fmt.Errorf("dtd: previous factor %d is %dx%d, want %dx%d", m, f.Rows, f.Cols, prev.Dims[m], rank)
+		}
+	}
+	return nil
+}
+
+func relChange(prev, cur float64) float64 {
+	if math.IsInf(prev, 1) {
+		return math.Inf(1)
+	}
+	return math.Abs(prev-cur) / math.Max(prev, 1e-12)
+}
+
+// iteration holds the per-step working set: the complement tensor and
+// its mode views, the stacked factors, and the cached Gram blocks the
+// update rules and the loss both reuse (the paper's "maintain and reuse
+// the intermediate results").
+type iteration struct {
+	opts    Options
+	oldDims []int
+	tilde   []*mat.Dense // previous snapshot factors Ã_n (read-only)
+	full    []*mat.Dense // current stacked factors, updated in place
+	comp    *tensor.Tensor
+	views   []*mttkrp.ModeView
+
+	gram0 []*mat.Dense // A_n^(0)ᵀ A_n^(0)
+	gram1 []*mat.Dense // A_n^(1)ᵀ A_n^(1)
+	cross []*mat.Dense // Ã_nᵀ A_n^(0)
+
+	cTilde     float64 // Σ_{r,s} ∗_k (Ã_kᵀÃ_k) — precomputed constant
+	compNormSq float64 // ‖X\X̃‖² — precomputed constant
+	lastM      *mat.Dense
+}
+
+func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims []int, opts Options) *iteration {
+	n := len(full)
+	it := &iteration{
+		opts:       opts,
+		oldDims:    oldDims,
+		tilde:      prev.Factors,
+		full:       full,
+		comp:       comp,
+		compNormSq: comp.NormSq(),
+	}
+	gramsTilde := make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		gramsTilde[m] = mat.Gram(prev.Factors[m])
+		it.views = append(it.views, mttkrp.NewModeView(comp, m))
+	}
+	it.cTilde = mat.SumAll(mat.HadamardAll(gramsTilde...))
+	it.gram0 = make([]*mat.Dense, n)
+	it.gram1 = make([]*mat.Dense, n)
+	it.cross = make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		it.refreshGrams(m)
+	}
+	return it
+}
+
+func (it *iteration) blocks(m int) (a0, a1 *mat.Dense) {
+	old := it.oldDims[m]
+	return it.full[m].SliceRows(0, old), it.full[m].SliceRows(old, it.full[m].Rows)
+}
+
+func (it *iteration) refreshGrams(m int) {
+	a0, a1 := it.blocks(m)
+	it.gram0[m] = mat.Gram(a0)
+	it.gram1[m] = mat.Gram(a1)
+	it.cross[m] = mat.CrossGram(it.tilde[m], a0)
+}
+
+// hadamardExcept multiplies pick(k) elementwise over all modes k ≠ mode.
+func (it *iteration) hadamardExcept(mode int, pick func(k int) *mat.Dense) *mat.Dense {
+	var out *mat.Dense
+	for k := range it.full {
+		if k == mode {
+			continue
+		}
+		if out == nil {
+			out = pick(k).Clone()
+		} else {
+			out.Hadamard(out, pick(k))
+		}
+	}
+	if out == nil {
+		out = mat.Eye(it.opts.Rank)
+	}
+	return out
+}
+
+// sweep performs one pass of the Eq. (5) updates over every mode.
+func (it *iteration) sweep() {
+	r := it.opts.Rank
+	for m := range it.full {
+		M := mat.New(it.full[m].Rows, r)
+		it.views[m].AccumulateInto(M, it.comp, it.full)
+
+		d1 := it.hadamardExcept(m, func(k int) *mat.Dense {
+			s := mat.New(r, r)
+			s.Add(it.gram0[k], it.gram1[k])
+			return s
+		})
+		g0prod := it.hadamardExcept(m, func(k int) *mat.Dense { return it.gram0[k] })
+		hprod := it.hadamardExcept(m, func(k int) *mat.Dense { return it.cross[k] })
+
+		d0 := mat.New(r, r)
+		d0.Scale(-(1 - it.opts.Mu), g0prod)
+		d0.Add(d0, d1)
+
+		old := it.oldDims[m]
+		num0 := mat.Mul(it.tilde[m], hprod)
+		num0.Scale(it.opts.Mu, num0)
+		num0.AddScaled(1, M.SliceRows(0, old))
+
+		a0 := mat.SolveRightRidge(num0, d0)
+		a1 := mat.SolveRightRidge(M.SliceRows(old, M.Rows), d1)
+
+		dst0, dst1 := it.blocks(m)
+		dst0.CopyFrom(a0)
+		dst1.CopyFrom(a1)
+		it.refreshGrams(m)
+		it.lastM = M
+	}
+}
+
+// loss evaluates √L of Eq. (4) from the cached intermediates: the
+// old-region term from the Gram/cross products, the new-data term from
+// the complement norm, the reused MTTKRP (cross term), and the
+// difference of full and old-block model norms.
+func (it *iteration) loss() float64 {
+	n := len(it.full)
+	full := make([]*mat.Dense, n)
+	zero := make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		s := mat.New(it.opts.Rank, it.opts.Rank)
+		s.Add(it.gram0[m], it.gram1[m])
+		full[m] = s
+		zero[m] = it.gram0[m]
+	}
+	model0Sq := mat.SumAll(mat.HadamardAll(zero...))
+	modelFullSq := mat.SumAll(mat.HadamardAll(full...))
+	crossOld := mat.SumAll(mat.HadamardAll(it.cross...))
+
+	oldTerm := it.opts.Mu * (it.cTilde + model0Sq - 2*crossOld)
+	inner := mat.Dot(it.lastM, it.full[n-1])
+	newTerm := it.compNormSq - 2*inner + (modelFullSq - model0Sq)
+
+	l := oldTerm + newTerm
+	if l < 0 {
+		l = 0 // round-off guard
+	}
+	return math.Sqrt(l)
+}
+
+// LossAgainst evaluates Eq. (4) definitionally — recomputing every term
+// from the raw tensors and factors with no reuse. Used to validate the
+// reuse-based loss and by the loss-reuse ablation bench.
+func LossAgainst(prev *State, snapshot *tensor.Tensor, cur *State, mu float64) float64 {
+	comp := snapshot.Complement(prev.Dims)
+	n := snapshot.Order()
+	// μ‖[[Ã]] − [[A^(0)]]‖².
+	gramsT := make([]*mat.Dense, n)
+	grams0 := make([]*mat.Dense, n)
+	cross := make([]*mat.Dense, n)
+	a0s := make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		a0 := cur.Factors[m].SliceRows(0, prev.Dims[m])
+		a0s[m] = a0
+		gramsT[m] = mat.Gram(prev.Factors[m])
+		grams0[m] = mat.Gram(a0)
+		cross[m] = mat.CrossGram(prev.Factors[m], a0)
+	}
+	oldTerm := mu * (mat.SumAll(mat.HadamardAll(gramsT...)) +
+		mat.SumAll(mat.HadamardAll(grams0...)) -
+		2*mat.SumAll(mat.HadamardAll(cross...)))
+
+	// Σ_{i≠0} ‖X^i − [[A…]]‖² = ‖X\X̃‖² − 2<X\X̃, Y> + (‖Y‖² − ‖Y^(0)‖²).
+	gramsF := make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		gramsF[m] = mat.Gram(cur.Factors[m])
+	}
+	inner := mttkrp.InnerProduct(comp, cur.Factors)
+	newTerm := comp.NormSq() - 2*inner +
+		mat.SumAll(mat.HadamardAll(gramsF...)) - mat.SumAll(mat.HadamardAll(grams0...))
+
+	l := oldTerm + newTerm
+	if l < 0 {
+		l = 0
+	}
+	return math.Sqrt(l)
+}

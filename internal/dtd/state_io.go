@@ -1,0 +1,49 @@
+package dtd
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"dismastd/internal/mat"
+)
+
+// EmptyState returns the degenerate previous state of an order-N
+// stream before any data: zero-size modes and empty factors. A DTD (or
+// DisMASTD) step from the empty state reduces exactly to static CP-ALS
+// of the snapshot — the complement is the whole tensor and the
+// old-region terms vanish — which is how cmd/worker bootstraps a
+// distributed decomposition with no prior factors.
+func EmptyState(order, rank int) *State {
+	if order <= 0 || rank <= 0 {
+		panic(fmt.Sprintf("dtd: EmptyState(%d, %d)", order, rank))
+	}
+	st := &State{Dims: make([]int, order)}
+	for i := 0; i < order; i++ {
+		st.Factors = append(st.Factors, mat.New(0, rank))
+	}
+	return st
+}
+
+// WriteState gob-encodes a state (factors are gob-friendly).
+func WriteState(w io.Writer, s *State) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// ReadState decodes a state written by WriteState and validates its
+// shape.
+func ReadState(r io.Reader) (*State, error) {
+	var s State
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("dtd: decode state: %w", err)
+	}
+	if len(s.Dims) == 0 || len(s.Factors) != len(s.Dims) {
+		return nil, fmt.Errorf("dtd: decoded state has %d dims, %d factors", len(s.Dims), len(s.Factors))
+	}
+	for m, f := range s.Factors {
+		if f == nil || f.Rows != s.Dims[m] {
+			return nil, fmt.Errorf("dtd: decoded factor %d inconsistent with dims", m)
+		}
+	}
+	return &s, nil
+}

@@ -1,0 +1,326 @@
+// Package mat implements the dense matrix kernels that CP-ALS and the
+// DisMASTD update rules are built from: Gram products, Hadamard and
+// Khatri-Rao products, Frobenius reductions, and small SPD solves.
+//
+// Everything is hand-rolled on float64 with row-major storage. The
+// matrices that flow through the hot paths are either factor blocks
+// (I_n x R with small R) or R x R Gram matrices, so the kernels favour
+// simplicity and cache-friendly row traversal over blocking tricks.
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"dismastd/internal/xrand"
+)
+
+// Dense is a row-major dense matrix. The zero value is an empty matrix;
+// use New or NewFrom to construct. Exported fields make the type
+// directly encodable by encoding/gob for cluster transport.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zeroed r x c matrix. It panics if r or c is negative.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: New(%d, %d) with negative dimension", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// NewFrom wraps data as an r x c matrix without copying. It panics if
+// len(data) != r*c.
+func NewFrom(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: NewFrom(%d, %d) with %d elements", r, c, len(data)))
+	}
+	return &Dense{Rows: r, Cols: c, Data: data}
+}
+
+// Eye returns the n x n identity matrix.
+func Eye(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a mutable slice view into the matrix.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src into m. Dimensions must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	m.mustSameShape(src, "CopyFrom")
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to zero.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+func (m *Dense) mustSameShape(o *Dense, op string) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Add stores a + b into m (which may alias a or b).
+func (m *Dense) Add(a, b *Dense) {
+	a.mustSameShape(b, "Add")
+	m.mustSameShape(a, "Add")
+	for i := range m.Data {
+		m.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Sub stores a - b into m (which may alias a or b).
+func (m *Dense) Sub(a, b *Dense) {
+	a.mustSameShape(b, "Sub")
+	m.mustSameShape(a, "Sub")
+	for i := range m.Data {
+		m.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Scale stores s*a into m (which may alias a).
+func (m *Dense) Scale(s float64, a *Dense) {
+	m.mustSameShape(a, "Scale")
+	for i := range m.Data {
+		m.Data[i] = s * a.Data[i]
+	}
+}
+
+// AddScaled accumulates m += s*a.
+func (m *Dense) AddScaled(s float64, a *Dense) {
+	m.mustSameShape(a, "AddScaled")
+	for i := range m.Data {
+		m.Data[i] += s * a.Data[i]
+	}
+}
+
+// Mul computes a*b into a freshly allocated matrix.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Gram computes AᵀA, an a.Cols x a.Cols symmetric matrix.
+func Gram(a *Dense) *Dense { return CrossGram(a, a) }
+
+// CrossGram computes AᵀB. A and B must have the same number of rows;
+// the result is a.Cols x b.Cols. This is the row-wise product the paper
+// aggregates with an all-to-all reduction (Section IV-B3).
+func CrossGram(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: CrossGram row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	out := New(a.Cols, b.Cols)
+	AccumulateCrossGram(out, a, b)
+	return out
+}
+
+// AccumulateCrossGram adds AᵀB into dst, which must be a.Cols x b.Cols.
+// It is the building block for partial Gram aggregation across workers.
+func AccumulateCrossGram(dst, a, b *Dense) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: AccumulateCrossGram row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("mat: AccumulateCrossGram destination shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for r, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(r)
+			for c, bv := range brow {
+				drow[c] += av * bv
+			}
+		}
+	}
+}
+
+// Hadamard stores the elementwise product a .* b into m.
+func (m *Dense) Hadamard(a, b *Dense) {
+	a.mustSameShape(b, "Hadamard")
+	m.mustSameShape(a, "Hadamard")
+	for i := range m.Data {
+		m.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// HadamardAll returns the elementwise product of all ms. It panics on an
+// empty input. The result is freshly allocated.
+func HadamardAll(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		panic("mat: HadamardAll of nothing")
+	}
+	out := ms[0].Clone()
+	for _, m := range ms[1:] {
+		out.Hadamard(out, m)
+	}
+	return out
+}
+
+// KhatriRao computes the column-wise Khatri-Rao product A ⊙ B: the
+// result has a.Rows*b.Rows rows and the shared column count, with
+// out[i*b.Rows+j, c] = A[i,c]*B[j,c].
+func KhatriRao(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: KhatriRao column mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	out := New(a.Rows*b.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			orow := out.Row(i*b.Rows + j)
+			for c := range orow {
+				orow[c] = arow[c] * brow[c]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns Aᵀ as a new matrix.
+func Transpose(a *Dense) *Dense {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			out.Data[j*a.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns ||A||_F.
+func FrobeniusNorm(a *Dense) float64 {
+	sum := 0.0
+	for _, v := range a.Data {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// SumAll returns the sum of every element of A. Applied to a Hadamard
+// product of Gram matrices it yields the Kruskal inner product
+// <[[A_1..A_N]], [[B_1..B_N]]> = SumAll(∗_k A_kᵀB_k).
+func SumAll(a *Dense) float64 {
+	sum := 0.0
+	for _, v := range a.Data {
+		sum += v
+	}
+	return sum
+}
+
+// Dot returns the elementwise inner product <A, B> = Σ a_ij b_ij.
+func Dot(a, b *Dense) float64 {
+	a.mustSameShape(b, "Dot")
+	sum := 0.0
+	for i, v := range a.Data {
+		sum += v * b.Data[i]
+	}
+	return sum
+}
+
+// MaxAbsDiff returns max_ij |a_ij - b_ij|, used by equivalence tests.
+func MaxAbsDiff(a, b *Dense) float64 {
+	a.mustSameShape(b, "MaxAbsDiff")
+	max := 0.0
+	for i, v := range a.Data {
+		d := math.Abs(v - b.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// RandomGaussian fills a fresh r x c matrix with N(0,1) variates drawn
+// from src.
+func RandomGaussian(r, c int, src *xrand.Source) *Dense {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = src.NormFloat64()
+	}
+	return m
+}
+
+// RandomUniform fills a fresh r x c matrix with U[0,1) variates drawn
+// from src.
+func RandomUniform(r, c int, src *xrand.Source) *Dense {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = src.Float64()
+	}
+	return m
+}
+
+// StackRows returns the (a.Rows+b.Rows) x Cols matrix [A; B]. The paper
+// stacks the old-region block A^(0) on top of the growth block A^(1) to
+// form the full factor.
+func StackRows(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: StackRows column mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	out := New(a.Rows+b.Rows, a.Cols)
+	copy(out.Data[:len(a.Data)], a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out
+}
+
+// SliceRows returns rows [from, to) of m as a view sharing storage.
+func (m *Dense) SliceRows(from, to int) *Dense {
+	if from < 0 || to < from || to > m.Rows {
+		panic(fmt.Sprintf("mat: SliceRows[%d:%d] of %d rows", from, to, m.Rows))
+	}
+	return &Dense{Rows: to - from, Cols: m.Cols, Data: m.Data[from*m.Cols : to*m.Cols]}
+}

@@ -1,0 +1,214 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD reports that a Cholesky factorisation failed because the
+// matrix is not (numerically) symmetric positive definite.
+var ErrNotSPD = errors.New("mat: matrix is not positive definite")
+
+// ErrSingular reports that Gauss-Jordan elimination met a zero pivot.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// Cholesky computes the lower-triangular L with A = LLᵀ for a symmetric
+// positive definite A. Only the lower triangle of A is read. It returns
+// ErrNotSPD when a pivot is not strictly positive.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("mat: Cholesky of non-square %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// choleskySolveInPlace solves LLᵀ x = b for each column of b, writing
+// the solution over b.
+func choleskySolveInPlace(l, b *Dense) {
+	n := l.Rows
+	// Forward substitution L y = b.
+	for i := 0; i < n; i++ {
+		brow := b.Row(i)
+		for k := 0; k < i; k++ {
+			lik := l.At(i, k)
+			if lik == 0 {
+				continue
+			}
+			krow := b.Row(k)
+			for c := range brow {
+				brow[c] -= lik * krow[c]
+			}
+		}
+		inv := 1 / l.At(i, i)
+		for c := range brow {
+			brow[c] *= inv
+		}
+	}
+	// Backward substitution Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		brow := b.Row(i)
+		for k := i + 1; k < n; k++ {
+			lki := l.At(k, i)
+			if lki == 0 {
+				continue
+			}
+			krow := b.Row(k)
+			for c := range brow {
+				brow[c] -= lki * krow[c]
+			}
+		}
+		inv := 1 / l.At(i, i)
+		for c := range brow {
+			brow[c] *= inv
+		}
+	}
+}
+
+// SolveSPD solves A X = B for X where A is symmetric positive definite,
+// using Cholesky. B is not modified.
+func SolveSPD(a, b *Dense) (*Dense, error) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: SolveSPD dimension mismatch %dx%d \\ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	x := b.Clone()
+	choleskySolveInPlace(l, x)
+	return x, nil
+}
+
+// SolveRightRidge computes M · D⁻¹, the ALS "numerator times inverse
+// denominator" step the paper applies row-wise. D must be symmetric
+// (the Hadamard product of Gram matrices is). When D is not positive
+// definite — a rank-deficient factor during early iterations — a small
+// ridge eps·trace(D)/R·I is added until the Cholesky succeeds, the
+// standard regularised-ALS fallback.
+func SolveRightRidge(m, d *Dense) *Dense {
+	if d.Rows != d.Cols || m.Cols != d.Rows {
+		panic(fmt.Sprintf("mat: SolveRightRidge dimension mismatch %dx%d · inv(%dx%d)", m.Rows, m.Cols, d.Rows, d.Cols))
+	}
+	n := d.Rows
+	tr := 0.0
+	for i := 0; i < n; i++ {
+		tr += math.Abs(d.At(i, i))
+	}
+	if tr == 0 {
+		tr = 1
+	}
+	work := d.Clone()
+	ridge := 0.0
+	for attempt := 0; ; attempt++ {
+		l, err := Cholesky(work)
+		if err == nil {
+			// Solve D Xᵀ = Mᵀ, i.e. X = M·D⁻¹ using D's symmetry.
+			xt := Transpose(m)
+			choleskySolveInPlace(l, xt)
+			return Transpose(xt)
+		}
+		if attempt > 60 {
+			panic("mat: SolveRightRidge could not regularise matrix")
+		}
+		if ridge == 0 {
+			ridge = 1e-12 * tr / float64(n)
+		} else {
+			ridge *= 10
+		}
+		work.CopyFrom(d)
+		for i := 0; i < n; i++ {
+			work.Set(i, i, work.At(i, i)+ridge)
+		}
+	}
+}
+
+// Inverse computes A⁻¹ by Gauss-Jordan elimination with partial
+// pivoting. It returns ErrSingular when no usable pivot exists. The
+// paper's complexity analysis counts an explicit O(R³) inverse of the
+// denominator term; SolveRightRidge is the numerically preferred path,
+// Inverse exists for parity and for tests.
+func Inverse(a *Dense) (*Dense, error) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("mat: Inverse of non-square %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	work := a.Clone()
+	inv := Eye(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest |value| in this column at or below the
+		// diagonal.
+		pivot := col
+		best := math.Abs(work.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(work.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 || math.IsNaN(best) {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		p := work.At(col, col)
+		scaleRow(work, col, 1/p)
+		scaleRow(inv, col, 1/p)
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			axpyRow(work, r, col, -f)
+			axpyRow(inv, r, col, -f)
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Dense, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+func scaleRow(m *Dense, r int, s float64) {
+	row := m.Row(r)
+	for i := range row {
+		row[i] *= s
+	}
+}
+
+// axpyRow adds s * row(src) to row(dst).
+func axpyRow(m *Dense, dst, src int, s float64) {
+	rd, rs := m.Row(dst), m.Row(src)
+	for i := range rd {
+		rd[i] += s * rs[i]
+	}
+}

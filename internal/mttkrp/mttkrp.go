@@ -1,0 +1,202 @@
+// Package mttkrp implements the Matricized Tensor Times Khatri-Rao
+// Product, the bottleneck operator of CP-ALS and of DisMASTD
+// (Section IV-B1, Eq. 6):
+//
+//	M[i, :] = Σ_{entries with mode-n index i} X[c] · ∏_{k≠n} A_k[c_k, :]
+//
+// Only non-zero tensor entries contribute, and each entry touches one
+// row per factor — the two properties the paper's partitioning exploits.
+//
+// Two kernels are provided: a flat kernel that scatters each entry's
+// contribution straight into the output, and a row-grouped kernel that
+// first orders entries by their mode-n index (a ModeView) so each
+// output row is accumulated locally before a single write-back. The
+// ablation bench in the repository root compares them.
+package mttkrp
+
+import (
+	"fmt"
+
+	"dismastd/internal/mat"
+	"dismastd/internal/tensor"
+)
+
+// checkFactors panics unless factors match the tensor: one factor per
+// mode, row counts equal to mode sizes, and a common column count R,
+// which it returns.
+func checkFactors(t *tensor.Tensor, factors []*mat.Dense) int {
+	if len(factors) != t.Order() {
+		panic(fmt.Sprintf("mttkrp: %d factors for order-%d tensor", len(factors), t.Order()))
+	}
+	r := factors[0].Cols
+	for m, f := range factors {
+		if f.Rows != t.Dims[m] {
+			panic(fmt.Sprintf("mttkrp: factor %d has %d rows, mode size %d", m, f.Rows, t.Dims[m]))
+		}
+		if f.Cols != r {
+			panic(fmt.Sprintf("mttkrp: factor %d has %d cols, factor 0 has %d", m, f.Cols, r))
+		}
+	}
+	return r
+}
+
+// Compute returns the mode-n MTTKRP of t with the given factors as a
+// fresh Dims[mode] x R matrix, using the flat kernel.
+func Compute(t *tensor.Tensor, factors []*mat.Dense, mode int) *mat.Dense {
+	r := checkFactors(t, factors)
+	dst := mat.New(t.Dims[mode], r)
+	AccumulateInto(dst, t, factors, mode)
+	return dst
+}
+
+// AccumulateInto adds the mode-n MTTKRP of t into dst, which must be
+// Dims[mode] x R. Accumulation (rather than overwrite) lets callers sum
+// contributions from several tensor partitions, as the distributed
+// runtime does.
+func AccumulateInto(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, mode int) {
+	r := checkFactors(t, factors)
+	if mode < 0 || mode >= t.Order() {
+		panic(fmt.Sprintf("mttkrp: mode %d on order-%d tensor", mode, t.Order()))
+	}
+	if dst.Rows != t.Dims[mode] || dst.Cols != r {
+		panic(fmt.Sprintf("mttkrp: destination %dx%d, want %dx%d", dst.Rows, dst.Cols, t.Dims[mode], r))
+	}
+	n := t.Order()
+	tmp := make([]float64, r)
+	for e := 0; e < t.NNZ(); e++ {
+		base := e * n
+		v := t.Vals[e]
+		for c := range tmp {
+			tmp[c] = v
+		}
+		for k := 0; k < n; k++ {
+			if k == mode {
+				continue
+			}
+			row := factors[k].Row(int(t.Coords[base+k]))
+			for c := range tmp {
+				tmp[c] *= row[c]
+			}
+		}
+		out := dst.Row(int(t.Coords[base+mode]))
+		for c := range tmp {
+			out[c] += tmp[c]
+		}
+	}
+}
+
+// InnerProduct returns the inner product <X, [[A_1 ... A_N]]> =
+// Σ_entries X[c] · Σ_r ∏_k A_k[c_k, r]. The distributed loss reuses the
+// MTTKRP result instead (Section IV-B4); this direct form exists for
+// verification and centralized baselines.
+func InnerProduct(t *tensor.Tensor, factors []*mat.Dense) float64 {
+	r := checkFactors(t, factors)
+	n := t.Order()
+	tmp := make([]float64, r)
+	total := 0.0
+	for e := 0; e < t.NNZ(); e++ {
+		base := e * n
+		for c := range tmp {
+			tmp[c] = 1
+		}
+		for k := 0; k < n; k++ {
+			row := factors[k].Row(int(t.Coords[base+k]))
+			for c := range tmp {
+				tmp[c] *= row[c]
+			}
+		}
+		s := 0.0
+		for _, v := range tmp {
+			s += v
+		}
+		total += t.Vals[e] * s
+	}
+	return total
+}
+
+// ModeView is a counting-sort arrangement of a tensor's entries by one
+// mode's coordinate, grouping together all entries of each slice. It is
+// built once per (tensor, mode) and reused across ALS iterations — the
+// sparsity pattern is fixed within a snapshot.
+type ModeView struct {
+	Mode       int
+	EntryOrder []int32 // entry ids ordered by mode coordinate
+	Rows       []int32 // distinct mode coordinates, ascending
+	Starts     []int32 // group i spans EntryOrder[Starts[i]:Starts[i+1]]
+}
+
+// NewModeView builds the view for the given mode in O(nnz + I_n).
+func NewModeView(t *tensor.Tensor, mode int) *ModeView {
+	if mode < 0 || mode >= t.Order() {
+		panic(fmt.Sprintf("mttkrp: NewModeView mode %d on order-%d tensor", mode, t.Order()))
+	}
+	n := t.Order()
+	counts := make([]int32, t.Dims[mode]+1)
+	for e := 0; e < t.NNZ(); e++ {
+		counts[t.Coords[e*n+mode]+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	offsets := append([]int32(nil), counts...)
+	order := make([]int32, t.NNZ())
+	for e := 0; e < t.NNZ(); e++ {
+		row := t.Coords[e*n+mode]
+		order[offsets[row]] = int32(e)
+		offsets[row]++
+	}
+	v := &ModeView{Mode: mode, EntryOrder: order}
+	for i := 0; i < t.Dims[mode]; i++ {
+		if counts[i+1] > counts[i] {
+			v.Rows = append(v.Rows, int32(i))
+			v.Starts = append(v.Starts, counts[i])
+		}
+	}
+	v.Starts = append(v.Starts, int32(t.NNZ()))
+	return v
+}
+
+// NumRows returns the number of non-empty slices in the viewed mode.
+func (v *ModeView) NumRows() int { return len(v.Rows) }
+
+// AccumulateInto adds the mode MTTKRP into dst using the row-grouped
+// kernel: each slice's contributions accumulate in a local buffer and
+// are written back once.
+func (v *ModeView) AccumulateInto(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense) {
+	r := checkFactors(t, factors)
+	if dst.Rows != t.Dims[v.Mode] || dst.Cols != r {
+		panic(fmt.Sprintf("mttkrp: destination %dx%d, want %dx%d", dst.Rows, dst.Cols, t.Dims[v.Mode], r))
+	}
+	n := t.Order()
+	tmp := make([]float64, r)
+	acc := make([]float64, r)
+	for g := 0; g < len(v.Rows); g++ {
+		for c := range acc {
+			acc[c] = 0
+		}
+		for p := v.Starts[g]; p < v.Starts[g+1]; p++ {
+			e := int(v.EntryOrder[p])
+			base := e * n
+			vv := t.Vals[e]
+			for c := range tmp {
+				tmp[c] = vv
+			}
+			for k := 0; k < n; k++ {
+				if k == v.Mode {
+					continue
+				}
+				row := factors[k].Row(int(t.Coords[base+k]))
+				for c := range tmp {
+					tmp[c] *= row[c]
+				}
+			}
+			for c := range acc {
+				acc[c] += tmp[c]
+			}
+		}
+		out := dst.Row(int(v.Rows[g]))
+		for c := range out {
+			out[c] += acc[c]
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteBinary encodes the tensor in a compact gob stream.
+func (t *Tensor) WriteBinary(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// ReadBinary decodes a tensor previously written by WriteBinary.
+func ReadBinary(r io.Reader) (*Tensor, error) {
+	var t Tensor
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("tensor: decode binary: %w", err)
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+func (t *Tensor) validate() error {
+	n := len(t.Dims)
+	if n == 0 {
+		return fmt.Errorf("tensor: decoded tensor has no modes")
+	}
+	if len(t.Coords) != len(t.Vals)*n {
+		return fmt.Errorf("tensor: decoded tensor has %d coords for %d values of order %d", len(t.Coords), len(t.Vals), n)
+	}
+	for e := 0; e < len(t.Vals); e++ {
+		for m := 0; m < n; m++ {
+			c := int(t.Coords[e*n+m])
+			if c < 0 || c >= t.Dims[m] {
+				return fmt.Errorf("tensor: decoded coordinate %d out of range in mode %d", c, m)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteText emits a human-readable TSV representation: a header line
+// "dims\td1\t...\tdN" followed by one "i1\t...\tiN\tvalue" line per
+// non-zero entry. The format round-trips through ReadText.
+func (t *Tensor) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "dims")
+	for _, d := range t.Dims {
+		fmt.Fprintf(bw, "\t%d", d)
+	}
+	fmt.Fprintln(bw)
+	n := t.Order()
+	for e := 0; e < t.NNZ(); e++ {
+		for m := 0; m < n; m++ {
+			fmt.Fprintf(bw, "%d\t", t.Coords[e*n+m])
+		}
+		fmt.Fprintf(bw, "%g\n", t.Vals[e])
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the TSV format written by WriteText.
+func ReadText(r io.Reader) (*Tensor, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("tensor: empty text input")
+	}
+	header := strings.Split(strings.TrimRight(sc.Text(), "\n"), "\t")
+	if len(header) < 2 || header[0] != "dims" {
+		return nil, fmt.Errorf("tensor: malformed header %q", sc.Text())
+	}
+	dims := make([]int, len(header)-1)
+	for i, f := range header[1:] {
+		d, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("tensor: bad dim %q: %w", f, err)
+		}
+		dims[i] = d
+	}
+	b := NewBuilder(dims)
+	idx := make([]int, len(dims))
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != len(dims)+1 {
+			return nil, fmt.Errorf("tensor: line %d has %d fields, want %d", line, len(fields), len(dims)+1)
+		}
+		for m := range dims {
+			v, err := strconv.Atoi(fields[m])
+			if err != nil {
+				return nil, fmt.Errorf("tensor: line %d index %q: %w", line, fields[m], err)
+			}
+			if v < 0 || v >= dims[m] {
+				return nil, fmt.Errorf("tensor: line %d coordinate %d out of range [0, %d) in mode %d", line, v, dims[m], m)
+			}
+			idx[m] = v
+		}
+		val, err := strconv.ParseFloat(fields[len(dims)], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tensor: line %d value %q: %w", line, fields[len(dims)], err)
+		}
+		b.Append(idx, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tensor: scan: %w", err)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,74 @@
+package tensor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundtrip(t *testing.T) {
+	x := randomTensor([]int{20, 30, 10}, 500, 11)
+	var buf bytes.Buffer
+	if err := x.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(x, y) {
+		t.Fatal("binary roundtrip changed tensor")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestTextRoundtrip(t *testing.T) {
+	x := randomTensor([]int{7, 9, 4}, 60, 13)
+	var buf bytes.Buffer
+	if err := x.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(x, y) {
+		t.Fatal("text roundtrip changed tensor")
+	}
+}
+
+func TestTextFormat(t *testing.T) {
+	b := NewBuilder([]int{2, 3})
+	b.Append([]int{1, 2}, 1.5)
+	var buf bytes.Buffer
+	if err := b.Build().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "dims\t2\t3\n1\t2\t1.5\n"
+	if got != want {
+		t.Fatalf("text output %q, want %q", got, want)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "shape\t2\t2\n",
+		"bad dim":      "dims\t2\tx\n",
+		"short line":   "dims\t2\t2\n1\t1\n",
+		"bad index":    "dims\t2\t2\na\t1\t1\n",
+		"bad value":    "dims\t2\t2\n1\t1\tz\n",
+		"out of range": "dims\t2\t2\n5\t1\t1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: accepted %q", name, in)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package dismastd
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dismastd/internal/core"
+	"dismastd/internal/dtd"
+	"dismastd/internal/partition"
+)
+
+// Options configures a streaming decomposer.
+type Options struct {
+	// Rank is the number of CP components R. Required.
+	Rank int
+	// MaxIters bounds the ALS sweeps per snapshot. Default 10, the
+	// paper's setting.
+	MaxIters int
+	// Tol stops a snapshot's iteration when the relative loss change
+	// falls below it. Default 1e-6.
+	Tol float64
+	// ForgettingFactor is the paper's μ ∈ (0, 1]: how strongly the
+	// previous decomposition anchors the old region. Default 0.8.
+	ForgettingFactor float64
+	// Seed makes runs reproducible. Default 1.
+	Seed uint64
+
+	// Workers selects the engine: 1 (default) runs the centralized
+	// dynamic algorithm (DTD); >1 runs distributed DisMASTD on an
+	// in-process cluster of that many workers.
+	Workers int
+	// Parts is the number of tensor partitions per mode for the
+	// distributed engine; it defaults to Workers (the paper's
+	// recommended setting).
+	Parts int
+	// Partitioner chooses GTP or MTP for the distributed engine.
+	// Default GTP; MTP balances better on skewed data.
+	Partitioner Partitioner
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Rank <= 0 {
+		return o, fmt.Errorf("dismastd: Rank must be positive, got %d", o.Rank)
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("dismastd: Workers must be positive, got %d", o.Workers)
+	}
+	return o, nil
+}
+
+// StepReport summarises what one Ingest call did.
+type StepReport struct {
+	Snapshot       int           // 0-based snapshot index
+	Iters          int           // ALS sweeps performed
+	Loss           float64       // √L — the paper's Eq. (4) objective (Eq. 1 for the first snapshot)
+	EntriesTouched int           // non-zeros processed: the whole first snapshot, then only each delta
+	Wall           time.Duration // processing time of this call
+	BytesOnWire    int64         // distributed engine only: measured traffic
+	Imbalance      []float64     // distributed engine only: per-mode partition load CV
+}
+
+// Stream decomposes a multi-aspect streaming tensor snapshot by
+// snapshot. Create with NewStream, feed nested snapshots to Ingest, and
+// read the current factors or predictions at any point.
+type Stream struct {
+	opts  Options
+	state *dtd.State
+	step  int
+}
+
+// NewStream returns an empty streaming decomposer. The options are
+// validated at the first Ingest.
+func NewStream(opts Options) *Stream { return &Stream{opts: opts} }
+
+// Ingest advances the decomposition to the given snapshot, which must
+// contain every previously ingested snapshot as a prefix sub-tensor.
+// The first snapshot is decomposed with full CP-ALS; every later one
+// costs work proportional to the newly arrived data only.
+func (s *Stream) Ingest(snapshot *Tensor) (*StepReport, error) {
+	opts, err := s.opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := validateIngestTensor(snapshot); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	report := &StepReport{Snapshot: s.step}
+
+	if s.state == nil {
+		st, stats, err := dtd.Init(snapshot, dtd.Options{
+			Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol,
+			Mu: opts.ForgettingFactor, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.state = st
+		report.Iters = stats.Iters
+		report.Loss = stats.Loss
+		report.EntriesTouched = snapshot.NNZ()
+	} else if opts.Workers <= 1 {
+		st, stats, err := dtd.Step(s.state, snapshot, dtd.Options{
+			Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol,
+			Mu: opts.ForgettingFactor, Seed: opts.Seed + uint64(s.step),
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.state = st
+		report.Iters = stats.Iters
+		report.Loss = stats.Loss
+		report.EntriesTouched = stats.ComplementNNZ
+	} else {
+		st, stats, err := core.Step(s.state, snapshot, core.Options{
+			Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol,
+			Mu: opts.ForgettingFactor, Seed: opts.Seed + uint64(s.step),
+			Workers: opts.Workers, Parts: opts.Parts,
+			Method: partition.Method(opts.Partitioner),
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.state = st
+		report.Iters = stats.Iters
+		report.Loss = stats.Loss
+		report.EntriesTouched = stats.ComplementNNZ
+		report.BytesOnWire = stats.Cluster.TotalBytes()
+		report.Imbalance = stats.Imbalance
+	}
+	report.Wall = time.Since(start)
+	s.step++
+	return report, nil
+}
+
+// Factors returns the current factor matrices, one per mode, or nil
+// before the first Ingest. Mutating them affects the stream.
+func (s *Stream) Factors() []*Dense {
+	if s.state == nil {
+		return nil
+	}
+	return s.state.Factors
+}
+
+// Dims returns the mode sizes of the last ingested snapshot.
+func (s *Stream) Dims() []int {
+	if s.state == nil {
+		return nil
+	}
+	return s.state.Dims
+}
+
+// Snapshots returns how many snapshots have been ingested.
+func (s *Stream) Snapshots() int { return s.step }
+
+// Predict reconstructs the model value at idx from the current factors.
+// It panics before the first Ingest or on out-of-range indices.
+func (s *Stream) Predict(idx []int) float64 {
+	if s.state == nil {
+		panic("dismastd: Predict before any Ingest")
+	}
+	return Predict(s.state.Factors, idx)
+}
+
+// Save checkpoints the stream's decomposition state so processing can
+// resume later (or in another process) with ResumeStream. At least one
+// snapshot must have been ingested.
+func (s *Stream) Save(w io.Writer) error {
+	if s.state == nil {
+		return fmt.Errorf("dismastd: Save before any Ingest")
+	}
+	return dtd.WriteState(w, s.state)
+}
+
+// ResumeStream restores a stream checkpointed with Save. The options
+// must use the same Rank; snapshots ingested next must extend the
+// checkpointed dims. The restored stream reports snapshot indices
+// starting from 1 (the checkpoint counts as snapshot 0).
+func ResumeStream(r io.Reader, opts Options) (*Stream, error) {
+	vopts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	state, err := dtd.ReadState(r)
+	if err != nil {
+		return nil, err
+	}
+	for m, f := range state.Factors {
+		if f.Cols != vopts.Rank {
+			return nil, fmt.Errorf("dismastd: checkpoint factor %d has rank %d, options say %d", m, f.Cols, vopts.Rank)
+		}
+	}
+	return &Stream{opts: opts, state: state, step: 1}, nil
+}
