@@ -1,0 +1,33 @@
+GO ?= go
+
+# Packages exercising the distributed machinery; these are the ones the
+# race detector must stay clean on.
+CLUSTER_PKGS = ./internal/cluster/... ./internal/core/... ./cmd/worker/...
+
+.PHONY: all build test vet race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-detector pass over the cluster transport, the distributed step
+# driver, and the worker binary — the fault-tolerance layer's tests
+# (retry, reconnection, heartbeat, chaos, kill-and-resume) all live
+# here and must pass with -race.
+race:
+	$(GO) test -race $(CLUSTER_PKGS)
+
+check: vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/bench/...
+
+clean:
+	$(GO) clean ./...

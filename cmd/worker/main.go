@@ -1,8 +1,8 @@
 // Command worker runs one rank of a real multi-process DisMASTD
-// cluster over TCP. Every worker process reads the same snapshot file
+// cluster over TCP. Every worker process reads the same snapshot files
 // (and optional previous-state file), deterministically builds the same
 // distribution plan, joins the rendezvous to get its rank, and executes
-// the SPMD step; rank 0 writes the resulting state.
+// the SPMD steps; rank 0 writes the resulting state.
 //
 // Start a rendezvous, then the workers (typically from a script or
 // examples/multiprocess):
@@ -10,14 +10,27 @@
 //	worker -serve 127.0.0.1:9000 -size 3
 //	worker -join 127.0.0.1:9000 -tensor snap.tsv -rank 10 -out state.gob   # x3
 //
-// A second round passes -prev state.gob and the next snapshot to
-// perform an incremental streaming step.
+// -tensor accepts a comma-separated snapshot sequence; each snapshot is
+// one incremental streaming step, with the new state broadcast to every
+// rank between steps. For crash recovery, -checkpoint writes the state
+// after every completed step (rank 0, atomic rename) and -resume skips
+// the steps a previous run already checkpointed, so a restarted cluster
+// continues from the last checkpoint instead of recomputing from
+// scratch. -heartbeat enables peer failure detection: a dead rank
+// surfaces as a typed peer-down error within a few intervals instead of
+// stalling until the receive timeout.
+//
+// A second invocation can still pass -prev state.gob and the next
+// snapshot to perform an incremental streaming step across processes.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"strings"
 	"time"
@@ -36,22 +49,44 @@ func main() {
 	}
 }
 
+// workerConfig carries the parsed worker-mode flags.
+type workerConfig struct {
+	join, listen  string
+	tensors       []string
+	prevPath      string
+	outPath       string
+	checkpoint    string
+	resume        bool
+	rank, iters   int
+	mu            float64
+	method        partition.Method
+	seed          uint64
+	timeout       time.Duration
+	heartbeat     time.Duration
+	chaosKillStep int
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	serve := fs.String("serve", "", "rendezvous mode: listen address (e.g. 127.0.0.1:9000)")
 	size := fs.Int("size", 0, "rendezvous mode: cluster size")
+	joinWindow := fs.Duration("join-window", 0, "rendezvous mode: bound on total cluster formation time (0 = none)")
 	join := fs.String("join", "", "worker mode: rendezvous address to join")
 	listen := fs.String("listen", "127.0.0.1:0", "worker mode: this rank's listen address")
-	tensorPath := fs.String("tensor", "", "worker mode: snapshot tensor file (text or .bin/.gob)")
+	tensorPath := fs.String("tensor", "", "worker mode: comma-separated snapshot tensor files (text or .bin/.gob)")
 	prevPath := fs.String("prev", "", "worker mode: previous state file (empty = decompose from scratch)")
 	outPath := fs.String("out", "", "worker mode: where rank 0 writes the resulting state")
+	checkpoint := fs.String("checkpoint", "", "worker mode: prefix for per-step state checkpoints (rank 0 writes <prefix>.step<K>.gob)")
+	resume := fs.Bool("resume", false, "worker mode: continue from the latest -checkpoint instead of recomputing completed steps")
 	rank := fs.Int("rank", 10, "CP rank R")
 	iters := fs.Int("iters", 10, "maximum ALS sweeps")
 	mu := fs.Float64("mu", 0.8, "forgetting factor")
 	method := fs.String("method", "mtp", "partitioning heuristic: gtp or mtp")
 	seed := fs.Uint64("seed", 1, "initialisation seed")
 	timeout := fs.Duration("timeout", 2*time.Minute, "join and receive timeout")
+	heartbeat := fs.Duration("heartbeat", 0, "peer failure-detection probe interval (0 = off)")
+	chaosKill := fs.Int("chaos-kill-step", -1, "chaos testing: close the node and exit right before this step")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,92 +96,210 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *size <= 0 {
 			return fmt.Errorf("-serve requires -size")
 		}
-		rv, err := cluster.NewRendezvous(*serve, *size)
+		rv, err := cluster.NewRendezvousConfigured(*serve, *size, cluster.RendezvousConfig{
+			JoinWindow: *joinWindow,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, "worker: "+format+"\n", args...)
+			},
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stderr, "worker: rendezvous on %s for %d ranks\n", rv.Addr(), *size)
 		return rv.Wait()
 	case *join != "":
-		return runWorker(stdout, stderr, *join, *listen, *tensorPath, *prevPath, *outPath,
-			*rank, *iters, *mu, *method, *seed, *timeout)
+		var pm partition.Method
+		switch strings.ToLower(*method) {
+		case "gtp":
+			pm = partition.GTPMethod
+		case "mtp":
+			pm = partition.MTPMethod
+		default:
+			return fmt.Errorf("unknown method %q", *method)
+		}
+		if *tensorPath == "" {
+			return fmt.Errorf("worker mode requires -tensor")
+		}
+		if *resume && *checkpoint == "" {
+			return fmt.Errorf("-resume requires -checkpoint")
+		}
+		cfg := workerConfig{
+			join: *join, listen: *listen,
+			tensors:  strings.Split(*tensorPath, ","),
+			prevPath: *prevPath, outPath: *outPath,
+			checkpoint: *checkpoint, resume: *resume,
+			rank: *rank, iters: *iters, mu: *mu, method: pm, seed: *seed,
+			timeout: *timeout, heartbeat: *heartbeat, chaosKillStep: *chaosKill,
+		}
+		return runWorker(stdout, stderr, cfg)
 	default:
 		return fmt.Errorf("need -serve or -join")
 	}
 }
 
-func runWorker(stdout, stderr io.Writer, join, listen, tensorPath, prevPath, outPath string,
-	rank, iters int, mu float64, method string, seed uint64, timeout time.Duration) error {
-	if tensorPath == "" {
-		return fmt.Errorf("worker mode requires -tensor")
-	}
-	snap, err := loadTensor(tensorPath)
-	if err != nil {
-		return fmt.Errorf("load tensor: %w", err)
-	}
-	prev := dtd.EmptyState(snap.Order(), rank)
-	if prevPath != "" {
-		f, err := os.Open(prevPath)
+func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
+	snaps := make([]*tensor.Tensor, len(cfg.tensors))
+	for i, path := range cfg.tensors {
+		snap, err := loadTensor(path)
 		if err != nil {
-			return fmt.Errorf("open prev state: %w", err)
+			return fmt.Errorf("load tensor %s: %w", path, err)
 		}
-		prev, err = dtd.ReadState(f)
-		f.Close()
+		snaps[i] = snap
+	}
+	prev := dtd.EmptyState(snaps[0].Order(), cfg.rank)
+	if cfg.prevPath != "" {
+		st, err := readStateFile(cfg.prevPath)
 		if err != nil {
 			return fmt.Errorf("read prev state: %w", err)
 		}
+		prev = st
 	}
-	var pm partition.Method
-	switch strings.ToLower(method) {
-	case "gtp":
-		pm = partition.GTPMethod
-	case "mtp":
-		pm = partition.MTPMethod
-	default:
-		return fmt.Errorf("unknown method %q", method)
+	start := 0
+	if cfg.resume {
+		st, step, err := latestCheckpoint(cfg.checkpoint, len(snaps))
+		if err != nil {
+			return err
+		}
+		if st != nil {
+			prev = st
+			start = step + 1
+			fmt.Fprintf(stderr, "worker: resuming after step %d from %s\n", step, checkpointPath(cfg.checkpoint, step))
+		}
 	}
 
-	node, err := cluster.JoinTCP(join, listen, timeout)
+	node, err := cluster.JoinTCP(cfg.join, cfg.listen, cfg.timeout)
 	if err != nil {
 		return fmt.Errorf("join cluster: %w", err)
 	}
 	defer node.Close()
-	node.SetRecvTimeout(timeout)
+	node.SetRecvTimeout(cfg.timeout)
+	if cfg.heartbeat > 0 {
+		if err := node.StartHeartbeat(cfg.heartbeat, 3); err != nil {
+			return err
+		}
+	}
 
-	job, err := core.NewStepJob(prev, snap, core.Options{
-		Rank: rank, MaxIters: iters, Mu: mu, Seed: seed,
-		Workers: node.Size(), Method: pm,
-	})
-	if err != nil {
-		return err
+	for step := start; step < len(snaps); step++ {
+		if step == cfg.chaosKillStep {
+			node.Close()
+			return fmt.Errorf("chaos: rank %d killed before step %d", node.Rank(), step)
+		}
+		job, err := core.NewStepJob(prev, snaps[step], core.Options{
+			Rank: cfg.rank, MaxIters: cfg.iters, Mu: cfg.mu, Seed: cfg.seed,
+			Workers: node.Size(), Method: cfg.method,
+		})
+		if err != nil {
+			return err
+		}
+		stats, err := node.Run(job.RunWorker)
+		if err != nil {
+			return fmt.Errorf("rank %d step %d: %w", node.Rank(), step, err)
+		}
+		var payload []byte
+		if node.Rank() == 0 {
+			st, sum, err := job.Result()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "rank 0: iters=%d loss=%.6g complement_nnz=%d\n", sum.Iters, sum.Loss, sum.ComplementNNZ)
+			var buf bytes.Buffer
+			if err := dtd.WriteState(&buf, st); err != nil {
+				return err
+			}
+			payload = buf.Bytes()
+		}
+		// Every rank needs the new state to plan the next step: rank 0
+		// broadcasts the serialized factors, and all ranks (rank 0
+		// included) adopt the decoded copy so the replicas stay bitwise
+		// identical with a resumed-from-checkpoint run.
+		var next *dtd.State
+		if _, err := node.Run(func(w *cluster.Worker) error {
+			b, err := w.BroadcastBytes(0, payload)
+			if err != nil {
+				return err
+			}
+			next, err = dtd.ReadState(bytes.NewReader(b))
+			return err
+		}); err != nil {
+			return fmt.Errorf("rank %d step %d state broadcast: %w", node.Rank(), step, err)
+		}
+		prev = next
+		if node.Rank() == 0 && cfg.checkpoint != "" {
+			if err := writeCheckpoint(cfg.checkpoint, step, prev); err != nil {
+				return fmt.Errorf("checkpoint step %d: %w", step, err)
+			}
+			fmt.Fprintf(stderr, "worker: checkpoint step %d written to %s\n", step, checkpointPath(cfg.checkpoint, step))
+		}
+		fmt.Fprintf(stderr, "worker: rank %d/%d step %d done, sent %dB in %d msgs, wall %s\n",
+			node.Rank(), node.Size(), step, stats.Ranks[0].BytesSent, stats.Ranks[0].MsgsSent, stats.Wall.Round(time.Millisecond))
 	}
-	stats, err := node.Run(job.RunWorker)
-	if err != nil {
-		return fmt.Errorf("rank %d: %w", node.Rank(), err)
-	}
-	fmt.Fprintf(stderr, "worker: rank %d/%d done, sent %dB in %d msgs, wall %s\n",
-		node.Rank(), node.Size(), stats.Ranks[0].BytesSent, stats.Ranks[0].MsgsSent, stats.Wall.Round(time.Millisecond))
 
 	if node.Rank() != 0 {
 		return nil
 	}
-	st, sum, err := job.Result()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "rank 0: iters=%d loss=%.6g complement_nnz=%d\n", sum.Iters, sum.Loss, sum.ComplementNNZ)
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if cfg.outPath != "" {
+		f, err := os.Create(cfg.outPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := dtd.WriteState(f, st); err != nil {
+		if err := dtd.WriteState(f, prev); err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "worker: state written to %s\n", outPath)
+		fmt.Fprintf(stderr, "worker: state written to %s\n", cfg.outPath)
 	}
 	return nil
+}
+
+// checkpointPath names the checkpoint for one completed step.
+func checkpointPath(prefix string, step int) string {
+	return fmt.Sprintf("%s.step%d.gob", prefix, step)
+}
+
+// writeCheckpoint persists the post-step state with a temp-file rename
+// so a crash mid-write never leaves a truncated checkpoint behind.
+func writeCheckpoint(prefix string, step int, st *dtd.State) error {
+	path := checkpointPath(prefix, step)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := dtd.WriteState(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// latestCheckpoint finds the highest completed step's state, or
+// (nil, -1, nil) when no checkpoint exists yet.
+func latestCheckpoint(prefix string, steps int) (*dtd.State, int, error) {
+	for step := steps - 1; step >= 0; step-- {
+		st, err := readStateFile(checkpointPath(prefix, step))
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("checkpoint step %d: %w", step, err)
+		}
+		return st, step, nil
+	}
+	return nil, -1, nil
+}
+
+func readStateFile(path string) (*dtd.State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dtd.ReadState(f)
 }
 
 func loadTensor(path string) (*tensor.Tensor, error) {

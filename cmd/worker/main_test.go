@@ -10,6 +10,8 @@ import (
 
 	"dismastd"
 	"dismastd/internal/cluster"
+	"dismastd/internal/dtd"
+	"dismastd/internal/mat"
 )
 
 // TestTwoStepTCPCluster drives the full worker flow in-process: a
@@ -83,13 +85,161 @@ func TestTwoStepTCPCluster(t *testing.T) {
 func TestWorkerArgErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	for name, args := range map[string][]string{
-		"neither mode":       {},
-		"serve without size": {"-serve", "127.0.0.1:0"},
-		"join without file":  {"-join", "127.0.0.1:1"},
-		"bad method":         {"-join", "127.0.0.1:1", "-tensor", "x.tsv", "-method", "zzz"},
+		"neither mode":              {},
+		"serve without size":        {"-serve", "127.0.0.1:0"},
+		"join without file":         {"-join", "127.0.0.1:1"},
+		"bad method":                {"-join", "127.0.0.1:1", "-tensor", "x.tsv", "-method", "zzz"},
+		"resume without checkpoint": {"-join", "127.0.0.1:1", "-tensor", "x.tsv", "-resume"},
 	} {
 		if err := run(args, &stdout, &stderr); err == nil {
 			t.Fatalf("%s accepted", name)
 		}
 	}
+}
+
+// writeSnapshots materialises a two-step growth schedule as binary
+// snapshot files and returns their paths.
+func writeSnapshots(t *testing.T, dir string) []string {
+	t.Helper()
+	full := dismastd.GenerateDataset(dismastd.DatasetBook, 2000, 17)
+	seq, err := dismastd.GrowthSchedule(full, []float64{0.85, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := make([]string, 2)
+	for i := range snaps {
+		snaps[i] = filepath.Join(dir, "snap"+string(rune('0'+i))+".bin")
+		f, err := os.Create(snaps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dismastd.WriteTensorBinary(f, seq.Snapshot(i)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return snaps
+}
+
+// runCluster starts a rendezvous plus one worker goroutine per entry in
+// extra (appended to the shared base args) and returns each worker's
+// error and combined output.
+func runCluster(t *testing.T, base []string, extra [][]string) ([]error, string) {
+	t.Helper()
+	workers := len(extra)
+	rv, err := cluster.NewRendezvous("127.0.0.1:0", workers)
+	if err != nil {
+		t.Skipf("loopback networking unavailable: %v", err)
+	}
+	defer rv.Close()
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			args := append([]string{"-join", rv.Addr()}, base...)
+			args = append(args, extra[w]...)
+			var stderr bytes.Buffer
+			errs[w] = run(args, &outs[w], &stderr)
+		}(w)
+	}
+	wg.Wait()
+	combined := ""
+	for w := 0; w < workers; w++ {
+		combined += outs[w].String()
+	}
+	return errs, combined
+}
+
+// TestKillAndResume exercises the crash-recovery path end to end: one
+// rank is chaos-killed between the two streaming steps, the survivors
+// surface a typed peer-down failure, and a resumed cluster picks up
+// from the step-0 checkpoint and reproduces the uninterrupted run's
+// factors exactly.
+func TestKillAndResume(t *testing.T) {
+	dir := t.TempDir()
+	snaps := writeSnapshots(t, dir)
+	ckpt := filepath.Join(dir, "ckpt")
+	stateB := filepath.Join(dir, "stateB.gob")
+	stateC := filepath.Join(dir, "stateC.gob")
+	base := []string{
+		"-tensor", snaps[0] + "," + snaps[1],
+		"-rank", "3", "-iters", "3", "-seed", "5", "-timeout", "30s",
+	}
+
+	// Run A: one worker dies right before step 1. Step 0 completes on
+	// all ranks first (the kill happens after its checkpoint), so the
+	// survivors fail inside step 1's collectives.
+	errsA, outA := runCluster(t,
+		append([]string{"-checkpoint", ckpt, "-heartbeat", "150ms"}, base...),
+		[][]string{{"-chaos-kill-step", "1"}, nil, nil})
+	if errsA[0] == nil || !strings.Contains(errsA[0].Error(), "chaos") {
+		t.Fatalf("killed worker error = %v", errsA[0])
+	}
+	for w := 1; w < 3; w++ {
+		pd, ok := cluster.AsPeerDown(errsA[w])
+		if !ok {
+			t.Fatalf("survivor %d error = %v, want ErrPeerDown", w, errsA[w])
+		}
+		if pd.Rank < 0 || pd.Rank > 2 {
+			t.Fatalf("survivor %d blamed rank %d", w, pd.Rank)
+		}
+	}
+	if !strings.Contains(outA, "rank 0: iters=") {
+		t.Fatalf("step 0 never completed: %q", outA)
+	}
+	if _, err := os.Stat(ckpt + ".step0.gob"); err != nil {
+		t.Fatalf("step-0 checkpoint missing: %v", err)
+	}
+	if _, err := os.Stat(ckpt + ".step1.gob"); err == nil {
+		t.Fatal("step-1 checkpoint written despite the kill")
+	}
+
+	// Run B: a fresh cluster resumes from the checkpoint and finishes
+	// only the remaining step.
+	errsB, _ := runCluster(t,
+		append([]string{"-checkpoint", ckpt, "-resume", "-out", stateB}, base...),
+		[][]string{nil, nil, nil})
+	for w, err := range errsB {
+		if err != nil {
+			t.Fatalf("resume worker %d: %v", w, err)
+		}
+	}
+
+	// Run C: the uninterrupted reference over both steps.
+	errsC, _ := runCluster(t,
+		append([]string{"-out", stateC}, base...),
+		[][]string{nil, nil, nil})
+	for w, err := range errsC {
+		if err != nil {
+			t.Fatalf("reference worker %d: %v", w, err)
+		}
+	}
+
+	b := readState(t, stateB)
+	c := readState(t, stateC)
+	if len(b.Factors) != len(c.Factors) {
+		t.Fatalf("factor counts differ: %d vs %d", len(b.Factors), len(c.Factors))
+	}
+	for m := range b.Factors {
+		if d := mat.MaxAbsDiff(b.Factors[m], c.Factors[m]); d != 0 {
+			t.Fatalf("mode %d: resumed factors diverge from reference by %g", m, d)
+		}
+	}
+}
+
+func readState(t *testing.T, path string) *dtd.State {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := dtd.ReadState(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
 }

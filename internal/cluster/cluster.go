@@ -98,6 +98,7 @@ type Worker struct {
 	metrics     *Metrics
 	recvTimeout time.Duration
 	coll        uint64 // collective sequence number; see collectives.go
+	tagEpoch    string // namespaces tags across repeated TCPNode.Run calls
 	work        float64
 }
 
@@ -157,6 +158,7 @@ type Local struct {
 	size        int
 	recvTimeout time.Duration
 	sendHook    SendHook
+	fault       *FaultPlan
 }
 
 // NewLocal returns an in-process cluster of the given size with a
@@ -173,6 +175,11 @@ func (c *Local) SetRecvTimeout(d time.Duration) { c.recvTimeout = d }
 
 // SetSendHook installs a fault-injection hook applied to every send.
 func (c *Local) SetSendHook(h SendHook) { c.sendHook = h }
+
+// SetFaultPlan installs a deterministic fault schedule applied to every
+// send (after the hook, if both are set). FaultCut has no connection to
+// break in-process; like a recovered TCP cut, the message is delivered.
+func (c *Local) SetFaultPlan(p *FaultPlan) { c.fault = p }
 
 // Size returns the number of workers the cluster runs.
 func (c *Local) Size() int { return c.size }
@@ -201,6 +208,18 @@ func (c *Local) Run(fn func(*Worker) error) (*RunStats, error) {
 				if c.sendHook != nil {
 					if err := c.sendHook(msg.From, to, msg.Tag); err != nil {
 						return err
+					}
+				}
+				if c.fault != nil {
+					if inj := c.fault.decide(msg.From, to, msg.Tag); inj != nil {
+						switch inj.op {
+						case FaultError:
+							return inj.err
+						case FaultDrop:
+							return nil
+						case FaultDelay:
+							time.Sleep(inj.delay)
+						}
 					}
 				}
 				mboxes[to].deliver(msg.From, msg.Tag, msg.Payload)

@@ -10,10 +10,12 @@ import (
 // per-worker collective counter, which namespaces its message tags so
 // consecutive collectives never cross-match. This mirrors the lockstep
 // structure of the distributed decomposition (all workers sweep the
-// same modes in the same order).
+// same modes in the same order). On the TCP transport tags carry an
+// additional per-Run epoch prefix, so a rank racing ahead into the next
+// node.Run phase cannot cross-match a peer still finishing the last.
 
 func (w *Worker) nextTag(op string) string {
-	t := fmt.Sprintf("%s#%d", op, w.coll)
+	t := fmt.Sprintf("%s%s#%d", w.tagEpoch, op, w.coll)
 	w.coll++
 	return t
 }

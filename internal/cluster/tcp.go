@@ -4,9 +4,13 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"dismastd/internal/xrand"
 )
 
 // TCP transport: the same Worker API running across OS processes. A
@@ -14,6 +18,15 @@ import (
 // each node then exchanges gob-encoded Messages over lazily dialed
 // point-to-point connections. cmd/worker and examples/multiprocess use
 // this to run DisMASTD as a real multi-process cluster.
+//
+// The transport tolerates transient network faults: dials retry with
+// exponential backoff and jitter under per-attempt deadlines, a broken
+// connection is evicted and transparently redialed (the failed message
+// is re-sent on the fresh connection), the rendezvous bounds every
+// joiner's handshake so one malformed client cannot wedge cluster
+// formation, and optional heartbeats (heartbeat.go) turn a dead peer
+// into a typed ErrPeerDown within a bounded window. fault.go's
+// FaultPlan drives all of these paths deterministically in tests.
 
 type joinRequest struct {
 	ListenAddr string
@@ -24,26 +37,116 @@ type joinReply struct {
 	Addrs []string
 }
 
+// RetryPolicy shapes the transport's fault handling: dial attempts with
+// exponential backoff plus deterministic jitter, a per-attempt dial
+// deadline, and the number of reconnect-and-resend cycles a send may
+// consume before giving up. The zero value means defaults.
+type RetryPolicy struct {
+	Attempts    int           // dial attempts per connection (default 5)
+	BaseDelay   time.Duration // backoff before the second attempt (default 50ms)
+	MaxDelay    time.Duration // backoff cap (default 2s)
+	DialTimeout time.Duration // per-attempt dial deadline (default 3s)
+	Resends     int           // reconnect+resend cycles per send (default 2)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = 3 * time.Second
+	}
+	if p.Resends <= 0 {
+		p.Resends = 2
+	}
+	return p
+}
+
+// jitterSource is a mutex-guarded deterministic generator for backoff
+// jitter; seeding it per rank decorrelates simultaneous redials without
+// sacrificing reproducibility.
+type jitterSource struct {
+	mu  sync.Mutex
+	src *xrand.Source
+}
+
+// backoff returns the pause before retry attempt (0-based): half the
+// exponential delay deterministic, half jittered.
+func (j *jitterSource) backoff(p RetryPolicy, attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 0; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	half := d / 2
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.src == nil {
+		j.src = xrand.New(1)
+	}
+	return half + time.Duration(j.src.Int63n(int64(half)+1))
+}
+
+func seedFromString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// RendezvousConfig hardens the rendezvous against misbehaving joiners.
+type RendezvousConfig struct {
+	// JoinIOTimeout bounds each joiner's handshake I/O (reading the join
+	// request, writing the rank reply). Zero means 10s.
+	JoinIOTimeout time.Duration
+	// JoinWindow bounds the overall wait for the full cluster to form;
+	// zero means wait indefinitely.
+	JoinWindow time.Duration
+	// Logf, when set, receives one line per rejected joiner.
+	Logf func(format string, args ...any)
+}
+
+const defaultJoinIOTimeout = 10 * time.Second
+
 // Rendezvous is the rank-assignment service: it accepts exactly size
 // joins, assigns ranks in join order, and sends every member the full
-// address table.
+// address table. Joiners that stall or send a malformed request are
+// rejected (counted, optionally logged) instead of blocking formation.
 type Rendezvous struct {
-	ln   net.Listener
-	size int
-	done chan error
+	ln       net.Listener
+	size     int
+	cfg      RendezvousConfig
+	done     chan error
+	rejected atomic.Int64
 }
 
 // NewRendezvous binds addr (e.g. "127.0.0.1:0") and starts accepting
-// joins for a cluster of the given size.
+// joins for a cluster of the given size, with default hardening.
 func NewRendezvous(addr string, size int) (*Rendezvous, error) {
+	return NewRendezvousConfigured(addr, size, RendezvousConfig{})
+}
+
+// NewRendezvousConfigured is NewRendezvous with explicit join deadlines
+// and rejected-join logging.
+func NewRendezvousConfigured(addr string, size int, cfg RendezvousConfig) (*Rendezvous, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("cluster: rendezvous size %d", size)
+	}
+	if cfg.JoinIOTimeout <= 0 {
+		cfg.JoinIOTimeout = defaultJoinIOTimeout
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: rendezvous listen: %w", err)
 	}
-	r := &Rendezvous{ln: ln, size: size, done: make(chan error, 1)}
+	r := &Rendezvous{ln: ln, size: size, cfg: cfg, done: make(chan error, 1)}
 	go r.serve()
 	return r, nil
 }
@@ -52,11 +155,21 @@ func NewRendezvous(addr string, size int) (*Rendezvous, error) {
 func (r *Rendezvous) Addr() string { return r.ln.Addr().String() }
 
 // Wait blocks until every worker has joined and received its rank, or
-// an accept error occurred.
+// an accept error occurred, or the join window expired.
 func (r *Rendezvous) Wait() error { return <-r.done }
 
 // Close stops the rendezvous listener.
 func (r *Rendezvous) Close() error { return r.ln.Close() }
+
+// Rejected returns how many joiners were turned away so far (malformed
+// requests or stalled handshakes).
+func (r *Rendezvous) Rejected() int64 { return r.rejected.Load() }
+
+func (r *Rendezvous) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
 
 func (r *Rendezvous) serve() {
 	type member struct {
@@ -64,19 +177,48 @@ func (r *Rendezvous) serve() {
 		addr string
 	}
 	var members []member
+	fail := func(err error) {
+		for _, m := range members {
+			m.conn.Close()
+		}
+		r.done <- err
+	}
+	var window time.Time
+	if r.cfg.JoinWindow > 0 {
+		window = time.Now().Add(r.cfg.JoinWindow)
+	}
 	for len(members) < r.size {
+		if !window.IsZero() {
+			if tl, ok := r.ln.(*net.TCPListener); ok {
+				tl.SetDeadline(window)
+			}
+		}
 		conn, err := r.ln.Accept()
 		if err != nil {
-			for _, m := range members {
-				m.conn.Close()
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				fail(fmt.Errorf("cluster: rendezvous join window %s expired with %d of %d joined (%d rejected)",
+					r.cfg.JoinWindow, len(members), r.size, r.Rejected()))
+				return
 			}
-			r.done <- fmt.Errorf("cluster: rendezvous accept: %w", err)
+			fail(fmt.Errorf("cluster: rendezvous accept: %w", err))
 			return
 		}
+		// Per-join handshake deadline: a stalled or malformed joiner is
+		// rejected instead of blocking cluster formation forever.
+		conn.SetDeadline(time.Now().Add(r.cfg.JoinIOTimeout))
 		var req joinRequest
 		if err := gob.NewDecoder(conn).Decode(&req); err != nil {
 			conn.Close()
-			continue // malformed joiner; keep waiting
+			r.rejected.Add(1)
+			r.logf("cluster: rendezvous rejected joiner %s: %v", conn.RemoteAddr(), err)
+			continue
+		}
+		if req.ListenAddr == "" {
+			conn.Close()
+			r.rejected.Add(1)
+			r.logf("cluster: rendezvous rejected joiner %s: empty listen address", conn.RemoteAddr())
+			continue
 		}
 		members = append(members, member{conn: conn, addr: req.ListenAddr})
 	}
@@ -86,6 +228,9 @@ func (r *Rendezvous) serve() {
 	}
 	var firstErr error
 	for rank, m := range members {
+		// Fresh write deadline: the accept-time deadline may have lapsed
+		// while later joiners trickled in.
+		m.conn.SetDeadline(time.Now().Add(r.cfg.JoinIOTimeout))
 		if err := gob.NewEncoder(m.conn).Encode(joinReply{Rank: rank, Addrs: addrs}); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("cluster: rendezvous reply to rank %d: %w", rank, err)
 		}
@@ -102,6 +247,15 @@ type TCPNode struct {
 	mbox        *mailbox
 	metrics     *Metrics
 	recvTimeout time.Duration
+	retry       RetryPolicy
+	jitter      jitterSource
+	runs        atomic.Int64
+	hb          atomic.Pointer[heartbeat]
+
+	// sendHook and fault must be installed before any sends (Run,
+	// StartHeartbeat); they are read without locks on the send path.
+	sendHook SendHook
+	fault    *FaultPlan
 
 	mu    sync.Mutex
 	conns map[int]*peerConn
@@ -110,6 +264,8 @@ type TCPNode struct {
 	closed    chan struct{}
 }
 
+// peerConn is the outbound link to one rank: nil conn means
+// disconnected (never dialed, or evicted after a write error).
 type peerConn struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -118,20 +274,62 @@ type peerConn struct {
 
 // JoinTCP creates a node: it binds listenAddr (use "127.0.0.1:0" for an
 // ephemeral port), registers with the rendezvous at coordAddr, and
-// returns once the rank and address table arrive.
+// returns once the rank and address table arrive. timeout bounds the
+// whole join; within it, dial attempts retry with backoff and jitter,
+// so workers may start before the rendezvous is listening.
 func JoinTCP(coordAddr, listenAddr string, timeout time.Duration) (*TCPNode, error) {
+	return JoinTCPRetry(coordAddr, listenAddr, timeout, RetryPolicy{})
+}
+
+// JoinTCPRetry is JoinTCP with an explicit retry policy, which the node
+// also adopts for its peer connections.
+func JoinTCPRetry(coordAddr, listenAddr string, timeout time.Duration, policy RetryPolicy) (*TCPNode, error) {
+	policy = policy.withDefaults()
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node listen: %w", err)
 	}
-	conn, err := net.DialTimeout("tcp", coordAddr, timeout)
-	if err != nil {
-		ln.Close()
-		return nil, fmt.Errorf("cluster: dial rendezvous %s: %w", coordAddr, err)
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	jit := &jitterSource{src: xrand.New(seedFromString(ln.Addr().String()))}
+	var conn net.Conn
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// With an overall budget the joiner keeps retrying until the
+			// deadline (the rendezvous may simply not be up yet);
+			// without one, the policy's attempt cap bounds the retry.
+			if deadline.IsZero() && attempt >= policy.Attempts {
+				ln.Close()
+				return nil, fmt.Errorf("cluster: dial rendezvous %s: %d attempts: %w", coordAddr, policy.Attempts, lastErr)
+			}
+			time.Sleep(jit.backoff(policy, attempt-1))
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			ln.Close()
+			if lastErr == nil {
+				lastErr = errors.New("timed out")
+			}
+			return nil, fmt.Errorf("cluster: dial rendezvous %s: join timeout %s: %w", coordAddr, timeout, lastErr)
+		}
+		d := policy.DialTimeout
+		if !deadline.IsZero() {
+			if rem := time.Until(deadline); rem < d {
+				d = rem
+			}
+		}
+		c, err := net.DialTimeout("tcp", coordAddr, d)
+		if err == nil {
+			conn = c
+			break
+		}
+		lastErr = err
 	}
 	defer conn.Close()
-	if timeout > 0 {
-		conn.SetDeadline(time.Now().Add(timeout))
+	if !deadline.IsZero() {
+		conn.SetDeadline(deadline)
 	}
 	if err := gob.NewEncoder(conn).Encode(joinRequest{ListenAddr: ln.Addr().String()}); err != nil {
 		ln.Close()
@@ -150,9 +348,11 @@ func JoinTCP(coordAddr, listenAddr string, timeout time.Duration) (*TCPNode, err
 		mbox:        newMailbox(),
 		metrics:     &Metrics{},
 		recvTimeout: 60 * time.Second,
+		retry:       policy,
 		conns:       make(map[int]*peerConn),
 		closed:      make(chan struct{}),
 	}
+	n.jitter.src = xrand.New(seedFromString(ln.Addr().String()) + uint64(reply.Rank))
 	go n.acceptLoop()
 	return n, nil
 }
@@ -165,6 +365,18 @@ func (n *TCPNode) Size() int { return n.size }
 
 // SetRecvTimeout overrides the node's receive timeout (zero disables).
 func (n *TCPNode) SetRecvTimeout(d time.Duration) { n.recvTimeout = d }
+
+// SetRetryPolicy overrides the dial/reconnect policy. Must be called
+// before Run or StartHeartbeat.
+func (n *TCPNode) SetRetryPolicy(p RetryPolicy) { n.retry = p.withDefaults() }
+
+// SetSendHook installs a fault-injection hook applied to every send,
+// mirroring Local.SetSendHook. Must be called before Run.
+func (n *TCPNode) SetSendHook(h SendHook) { n.sendHook = h }
+
+// SetFaultPlan installs a deterministic fault schedule applied to every
+// send. Must be called before Run.
+func (n *TCPNode) SetFaultPlan(p *FaultPlan) { n.fault = p }
 
 func (n *TCPNode) acceptLoop() {
 	for {
@@ -187,47 +399,166 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		var msg Message
 		if err := dec.Decode(&msg); err != nil {
 			conn.Close()
-			return // peer closed; pending receives fail via timeout or node close
+			return // peer closed; pending receives fail via timeout, heartbeat, or node close
 		}
-		n.metrics.addRecvd(msg.wireSize())
+		if msg.From < 0 || msg.From >= n.size {
+			continue // malformed peer; never index by it
+		}
+		if hb := n.hb.Load(); hb != nil {
+			hb.observe(msg.From)
+		}
+		if msg.Tag == heartbeatTag {
+			continue // liveness probe, not payload
+		}
+		// Receive metrics are counted once, in Worker.Recv, exactly as
+		// the in-process transport counts them.
 		n.mbox.deliver(msg.From, msg.Tag, msg.Payload)
 	}
 }
 
-func (n *TCPNode) peer(to int) (*peerConn, error) {
+// slot returns the (possibly disconnected) outbound link to rank to.
+func (n *TCPNode) slot(to int) *peerConn {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if pc, ok := n.conns[to]; ok {
-		return pc, nil
+	pc, ok := n.conns[to]
+	if !ok {
+		pc = &peerConn{}
+		n.conns[to] = pc
 	}
-	conn, err := net.DialTimeout("tcp", n.addrs[to], 10*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("dial rank %d at %s: %w", to, n.addrs[to], err)
-	}
-	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
-	n.conns[to] = pc
-	return pc, nil
+	return pc
 }
 
+// dialPeer establishes a connection to rank to under the retry policy.
+func (n *TCPNode) dialPeer(to int) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < n.retry.Attempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(n.jitter.backoff(n.retry, attempt-1))
+			select {
+			case <-t.C:
+			case <-n.closed:
+				t.Stop()
+				return nil, ErrClosed
+			}
+		}
+		conn, err := net.DialTimeout("tcp", n.addrs[to], n.retry.DialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dial rank %d at %s: %d attempts: %w", to, n.addrs[to], n.retry.Attempts, lastErr)
+}
+
+// encodeTo writes msg on the (dialing if needed) connection to rank to.
+// A failed write tears the connection down so the next attempt redials.
+func (n *TCPNode) encodeTo(to int, msg *Message) error {
+	pc := n.slot(to)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn == nil {
+		conn, err := n.dialPeer(to)
+		if err != nil {
+			return err
+		}
+		pc.conn, pc.enc = conn, gob.NewEncoder(conn)
+	}
+	if err := pc.enc.Encode(msg); err != nil {
+		pc.conn.Close()
+		pc.conn, pc.enc = nil, nil
+		return err
+	}
+	return nil
+}
+
+// cutConn force-closes the live connection to rank to (fault
+// injection). The dead encoder is left in place so the next send
+// observes the break and exercises the reconnect path.
+func (n *TCPNode) cutConn(to int) {
+	pc := n.slot(to)
+	pc.mu.Lock()
+	if pc.conn != nil {
+		pc.conn.Close()
+	}
+	pc.mu.Unlock()
+}
+
+// sendProbe best-effort-delivers a heartbeat: one dial attempt, no
+// reconnect cycles — detection is driven by inbound silence, not by
+// probe send errors.
+func (n *TCPNode) sendProbe(to int, msg *Message) {
+	pc := n.slot(to)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn == nil {
+		conn, err := net.DialTimeout("tcp", n.addrs[to], n.retry.DialTimeout)
+		if err != nil {
+			return
+		}
+		pc.conn, pc.enc = conn, gob.NewEncoder(conn)
+	}
+	if err := pc.enc.Encode(msg); err != nil {
+		pc.conn.Close()
+		pc.conn, pc.enc = nil, nil
+	}
+}
+
+// send is the Worker-level transport: fault injection, self-delivery,
+// and reconnect-and-resend over broken connections.
 func (n *TCPNode) send(to int, msg Message) error {
+	if h := n.sendHook; h != nil {
+		if err := h(msg.From, to, msg.Tag); err != nil {
+			return err
+		}
+	}
+	if n.fault != nil {
+		if inj := n.fault.decide(msg.From, to, msg.Tag); inj != nil {
+			switch inj.op {
+			case FaultError:
+				return inj.err
+			case FaultDrop:
+				return nil
+			case FaultDelay:
+				time.Sleep(inj.delay)
+			case FaultCut:
+				if to != n.rank {
+					n.cutConn(to) // the resend loop below must recover
+				}
+			}
+		}
+	}
 	if to == n.rank {
-		n.metrics.addRecvd(msg.wireSize())
+		// Receive metrics are counted in Worker.Recv, like Local.
 		n.mbox.deliver(msg.From, msg.Tag, msg.Payload)
 		return nil
 	}
-	pc, err := n.peer(to)
-	if err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt <= n.retry.Resends; attempt++ {
+		select {
+		case <-n.closed:
+			return ErrClosed
+		default:
+		}
+		if hb := n.hb.Load(); hb != nil && hb.isDown(to) {
+			return &ErrPeerDown{Rank: to}
+		}
+		if err := n.encodeTo(to, &msg); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
 	}
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	return pc.enc.Encode(&msg)
+	return fmt.Errorf("send to rank %d failed after %d reconnect attempts: %w", to, n.retry.Resends, lastErr)
 }
 
 // Run executes fn as this node's worker function and returns its stats.
 // Unlike Local.Run it drives a single rank; the other ranks run in
-// their own processes (or goroutines in tests).
+// their own processes (or goroutines in tests). Repeated Run calls on
+// one node namespace their collective tags by invocation count, so
+// back-to-back SPMD phases cannot cross-match — every rank must perform
+// the same sequence of Run calls.
 func (n *TCPNode) Run(fn func(*Worker) error) (*RunStats, error) {
+	epoch := n.runs.Add(1) - 1
 	w := &Worker{
 		rank:        n.rank,
 		size:        n.size,
@@ -235,6 +566,9 @@ func (n *TCPNode) Run(fn func(*Worker) error) (*RunStats, error) {
 		metrics:     n.metrics,
 		recvTimeout: n.recvTimeout,
 		sendFn:      n.send,
+	}
+	if epoch > 0 {
+		w.tagEpoch = fmt.Sprintf("e%d|", epoch)
 	}
 	start := time.Now()
 	err := fn(w)
@@ -252,10 +586,18 @@ func (n *TCPNode) Close() error {
 		close(n.closed)
 		err = n.ln.Close()
 		n.mu.Lock()
+		slots := make([]*peerConn, 0, len(n.conns))
 		for _, pc := range n.conns {
-			pc.conn.Close()
+			slots = append(slots, pc)
 		}
 		n.mu.Unlock()
+		for _, pc := range slots {
+			pc.mu.Lock()
+			if pc.conn != nil {
+				pc.conn.Close()
+			}
+			pc.mu.Unlock()
+		}
 		n.mbox.fail(ErrClosed)
 	})
 	return err

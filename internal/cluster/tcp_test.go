@@ -3,6 +3,8 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -175,5 +177,237 @@ func TestTCPRecvTimeout(t *testing.T) {
 func TestRendezvousRejectsBadSize(t *testing.T) {
 	if _, err := NewRendezvous("127.0.0.1:0", 0); err == nil {
 		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestTCPReconnectAfterCut(t *testing.T) {
+	// A transiently broken connection must be redialed transparently:
+	// every message still arrives (tags demultiplex across the old and
+	// new connection), with the cut recovered inside a single Send call.
+	nodes := startTCPCluster(t, 2)
+	plan := NewFaultPlan().Add(FaultRule{From: 0, To: 1, FirstSeq: 1, Op: FaultCut})
+	for _, n := range nodes {
+		if n.Rank() == 0 {
+			n.SetFaultPlan(plan)
+		}
+	}
+	const msgs = 4
+	runTCP(t, nodes, func(w *Worker) error {
+		if w.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := w.Send(1, fmt.Sprintf("m%d", i), []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			b, err := w.Recv(0, fmt.Sprintf("m%d", i))
+			if err != nil {
+				return err
+			}
+			if int(b[0]) != i {
+				return fmt.Errorf("message %d carried payload %d", i, b[0])
+			}
+		}
+		return nil
+	})
+	if plan.FiredOp(FaultCut) != 1 {
+		t.Fatalf("cuts fired = %d", plan.FiredOp(FaultCut))
+	}
+}
+
+func TestTCPSendHook(t *testing.T) {
+	// The fault-injection hook applies on the TCP path exactly as on the
+	// in-process transport.
+	nodes := startTCPCluster(t, 2)
+	boom := errors.New("hooked")
+	for _, n := range nodes {
+		n.SetSendHook(func(from, to int, tag string) error {
+			if tag == "poisoned" {
+				return boom
+			}
+			return nil
+		})
+	}
+	_, err := nodes[0].Run(func(w *Worker) error {
+		if err := w.Send(1-w.Rank(), "clean", nil); err != nil {
+			return err
+		}
+		return w.Send(1-w.Rank(), "poisoned", nil)
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want hook error", err)
+	}
+}
+
+// tcpPattern is a traffic mix (point-to-point, self-send, collective)
+// run identically on both transports by the metrics parity test.
+func tcpPattern(w *Worker) error {
+	peer := 1 - w.Rank()
+	if err := w.Send(peer, "ping", make([]byte, 64)); err != nil {
+		return err
+	}
+	if _, err := w.Recv(peer, "ping"); err != nil {
+		return err
+	}
+	if err := w.Send(w.Rank(), "self", make([]byte, 16)); err != nil {
+		return err
+	}
+	if _, err := w.Recv(w.Rank(), "self"); err != nil {
+		return err
+	}
+	_, err := w.ReduceScalarSum(1)
+	return err
+}
+
+func TestTransportMetricsParity(t *testing.T) {
+	// Both transports must count traffic identically: one receive
+	// increment per consumed message (the TCP read loop and self-send
+	// path used to double count).
+	local := NewLocal(2)
+	localStats, err := local.Run(tcpPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := startTCPCluster(t, 2)
+	tcpStats := runTCP(t, nodes, tcpPattern)
+	for _, n := range nodes {
+		rank := n.Rank()
+		got := tcpStats[indexOfNode(nodes, n)].Ranks[0].Metrics
+		want := localStats.Ranks[rank].Metrics
+		if got.MsgsSent != want.MsgsSent || got.MsgsRecv != want.MsgsRecv ||
+			got.BytesSent != want.BytesSent || got.BytesRecv != want.BytesRecv {
+			t.Fatalf("rank %d metrics diverge: tcp %+v, local %+v", rank, got, want)
+		}
+	}
+}
+
+func indexOfNode(nodes []*TCPNode, n *TCPNode) int {
+	for i := range nodes {
+		if nodes[i] == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestTCPMultipleRunsTagEpochs(t *testing.T) {
+	// Back-to-back Run calls on the same nodes must not cross-match
+	// collective tags even when one rank races ahead into the next
+	// phase.
+	nodes := startTCPCluster(t, 3)
+	for phase := 0; phase < 4; phase++ {
+		want := float64(3 * (phase + 1))
+		runTCP(t, nodes, func(w *Worker) error {
+			got, err := w.ReduceScalarSum(float64(phase + 1))
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("phase %d sum %v, want %v", phase, got, want)
+			}
+			return nil
+		})
+	}
+}
+
+func TestJoinRetriesUntilRendezvousUp(t *testing.T) {
+	// Workers may start before the rendezvous: the join dial retries
+	// with backoff until the coordinator is listening.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback networking unavailable: %v", err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	type result struct {
+		node *TCPNode
+		err  error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			n, err := JoinTCP(addr, "127.0.0.1:0", 10*time.Second)
+			results <- result{n, err}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond) // joiners are already retrying
+	rv, err := NewRendezvous(addr, 2)
+	if err != nil {
+		t.Skipf("rendezvous port reuse failed: %v", err)
+	}
+	defer rv.Close()
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("join: %v", r.err)
+		}
+		defer r.node.Close()
+	}
+	if err := rv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRendezvousRejectsMalformedJoiner(t *testing.T) {
+	var logged int
+	rv, err := NewRendezvousConfigured("127.0.0.1:0", 1, RendezvousConfig{
+		JoinIOTimeout: 200 * time.Millisecond,
+		Logf:          func(string, ...any) { logged++ },
+	})
+	if err != nil {
+		t.Skipf("loopback networking unavailable: %v", err)
+	}
+	defer rv.Close()
+
+	// A garbage joiner and a stalled joiner must both be rejected
+	// without blocking cluster formation.
+	bad, err := net.Dial("tcp", rv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Write([]byte("this is not a gob stream"))
+	stalled, err := net.Dial("tcp", rv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close() // sends nothing: handshake deadline rejects it
+	bad.Close()
+
+	node, err := JoinTCP(rv.Addr(), "127.0.0.1:0", 5*time.Second)
+	if err != nil {
+		t.Fatalf("legitimate join blocked by bad joiners: %v", err)
+	}
+	defer node.Close()
+	if err := rv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if rv.Rejected() < 1 {
+		t.Fatalf("rejected = %d, want >= 1", rv.Rejected())
+	}
+	if logged < 1 {
+		t.Fatalf("logged = %d, want >= 1", logged)
+	}
+}
+
+func TestRendezvousJoinWindowExpires(t *testing.T) {
+	rv, err := NewRendezvousConfigured("127.0.0.1:0", 2, RendezvousConfig{
+		JoinWindow: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Skipf("loopback networking unavailable: %v", err)
+	}
+	defer rv.Close()
+	done := make(chan error, 1)
+	go func() { done <- rv.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "join window") {
+			t.Fatalf("error = %v, want join window expiry", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("join window never expired")
 	}
 }
