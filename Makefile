@@ -4,7 +4,15 @@ GO ?= go
 # race detector must stay clean on.
 CLUSTER_PKGS = ./internal/cluster/... ./internal/core/... ./cmd/worker/...
 
-.PHONY: all build test vet race check bench clean
+# The workspace-threaded numeric stack. Workspaces are per-worker by
+# contract (see DESIGN.md, "Memory model"); the race detector over these
+# packages is what enforces that no scratch buffer leaks across
+# goroutines.
+NUMERIC_PKGS = ./internal/mat/... ./internal/mttkrp/... ./internal/cp/... \
+	./internal/dtd/... ./internal/dmsmg/... ./internal/completion/... \
+	./internal/onlinecp/...
+
+.PHONY: all build test vet race check bench bench-paper clean
 
 all: check
 
@@ -18,15 +26,24 @@ test: build
 	$(GO) test ./...
 
 # Race-detector pass over the cluster transport, the distributed step
-# driver, and the worker binary — the fault-tolerance layer's tests
-# (retry, reconnection, heartbeat, chaos, kill-and-resume) all live
-# here and must pass with -race.
+# driver, the worker binary, and the workspace-threaded numeric stack —
+# the fault-tolerance tests (retry, reconnection, heartbeat, chaos,
+# kill-and-resume) and the in-place kernel/aliasing tests must all pass
+# with -race.
 race:
-	$(GO) test -race $(CLUSTER_PKGS)
+	$(GO) test -race $(CLUSTER_PKGS) $(NUMERIC_PKGS)
 
 check: vet test race
 
+# Kernel benchmarks with allocation counts, captured as JSON so the
+# allocation-free hot path is tracked across PRs, not just asserted once.
 bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' \
+		./internal/mat/... ./internal/mttkrp/... ./internal/core/... \
+		| $(GO) run ./cmd/benchjson -o BENCH_kernels.json
+
+# End-to-end paper-scale benchmark harness (scaling tables).
+bench-paper:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/bench/...
 
 clean:

@@ -1,0 +1,87 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON file, echoing the original output through to
+// stdout so the run stays human-readable. `make bench` pipes the kernel
+// benchmarks through it to produce BENCH_kernels.json, the artefact
+// tracked across PRs for performance regressions.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Row is one benchmark result line.
+type Row struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "BENCH_kernels.json", "output JSON path")
+	flag.Parse()
+
+	var rows []Row
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		row := Row{Package: pkg, Name: m[1], Iters: iters, NsPerOp: ns}
+		if m[4] != "" {
+			if v, err := strconv.ParseInt(m[4], 10, 64); err == nil {
+				row.BytesPerOp = &v
+			}
+		}
+		if m[5] != "" {
+			if v, err := strconv.ParseInt(m[5], 10, 64); err == nil {
+				row.AllocsPerOp = &v
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rows), *out)
+}

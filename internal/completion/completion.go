@@ -120,17 +120,23 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 		views[m] = mttkrp.NewModeView(x, m)
 	}
 
-	res := &Result{Factors: factors}
+	// All sweep scratch is allocated here, once: the per-row normal
+	// system, its solution, the Khatri-Rao row, and the RMSE product
+	// buffer, so steady-state iterations allocate nothing.
+	ws := mat.NewWorkspace()
+	res := &Result{Factors: factors, RMSETrace: make([]float64, 0, opts.MaxIters)}
 	prev := math.Inf(1)
 	h := make([]float64, r)
 	sys := mat.New(r, r)
 	rhs := mat.New(r, 1)
+	sol := mat.New(r, 1)
+	tmp := make([]float64, r)
 	for it := 0; it < opts.MaxIters; it++ {
 		for m := 0; m < n; m++ {
-			updateModeObserved(x, views[m], factors, m, opts.Lambda, h, sys, rhs)
+			updateModeObserved(x, views[m], factors, m, opts.Lambda, h, sys, rhs, sol, ws)
 		}
 		res.Iters = it + 1
-		res.RMSE = RMSE(x, factors)
+		res.RMSE = rmseScratch(x, factors, tmp)
 		res.RMSETrace = append(res.RMSETrace, res.RMSE)
 		if relChange(prev, res.RMSE) < opts.Tol {
 			break
@@ -141,8 +147,9 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 }
 
 // updateModeObserved solves the per-row regularised normal equations of
-// one mode. h, sys, rhs are scratch buffers sized R, RxR, Rx1.
-func updateModeObserved(x *tensor.Tensor, view *mttkrp.ModeView, factors []*mat.Dense, mode int, lambda float64, h []float64, sys, rhs *mat.Dense) {
+// one mode. h, sys, rhs, sol are scratch buffers sized R, RxR, Rx1,
+// Rx1; ws supplies the solver scratch.
+func updateModeObserved(x *tensor.Tensor, view *mttkrp.ModeView, factors []*mat.Dense, mode int, lambda float64, h []float64, sys, rhs, sol *mat.Dense, ws *mat.Workspace) {
 	n := x.Order()
 	r := len(h)
 	for g := 0; g < view.NumRows(); g++ {
@@ -178,15 +185,18 @@ func updateModeObserved(x *tensor.Tensor, view *mttkrp.ModeView, factors []*mat.
 		for i := 0; i < r; i++ {
 			sys.Set(i, i, sys.At(i, i)+lambda)
 		}
-		sol, err := mat.SolveSPD(sys, rhs)
-		if err != nil {
+		if err := mat.SolveSPDInto(sol, sys, rhs, ws); err != nil {
 			// Extremely ill-conditioned row (e.g. duplicate colinear
 			// observations): fall back to a stronger ridge.
 			for i := 0; i < r; i++ {
 				sys.Set(i, i, sys.At(i, i)+1e-6+lambda*10)
 			}
-			sol = mat.SolveRightRidge(mat.Transpose(rhs), sys)
-			sol = mat.Transpose(sol)
+			mark := ws.Mark()
+			rt := ws.Take(1, r)
+			mat.TransposeInto(rt, rhs)
+			mat.SolveRightRidgeInto(rt, rt, sys, ws)
+			mat.TransposeInto(sol, rt)
+			ws.Release(mark)
 		}
 		copy(factors[mode].Row(int(view.Rows[g])), sol.Data)
 	}
@@ -197,12 +207,14 @@ func updateModeObserved(x *tensor.Tensor, view *mttkrp.ModeView, factors []*mat.
 // RMSE returns the root mean squared prediction error over x's
 // observed entries.
 func RMSE(x *tensor.Tensor, factors []*mat.Dense) float64 {
+	return rmseScratch(x, factors, make([]float64, factors[0].Cols))
+}
+
+func rmseScratch(x *tensor.Tensor, factors []*mat.Dense, tmp []float64) float64 {
 	if x.NNZ() == 0 {
 		return 0
 	}
 	n := x.Order()
-	r := factors[0].Cols
-	tmp := make([]float64, r)
 	var sum float64
 	for e := 0; e < x.NNZ(); e++ {
 		base := e * n

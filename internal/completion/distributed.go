@@ -108,11 +108,15 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 		}
 	}
 
+	// Per-worker sweep scratch, allocated once.
+	ws := mat.NewWorkspace()
 	h := make([]float64, r)
 	sys := mat.New(r, r)
 	rhs := mat.New(r, 1)
+	sol := mat.New(r, 1)
+	tmp := make([]float64, r)
 	prev := math.Inf(1)
-	var trace []float64
+	trace := make([]float64, 0, j.opts.MaxIters)
 	iters := 0
 	for sweep := 0; sweep < j.opts.MaxIters; sweep++ {
 		for m := 0; m < n; m++ {
@@ -121,7 +125,7 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 				if len(entries) == 0 {
 					continue // unobserved row keeps its value, as centralized does
 				}
-				j.solveRow(x, full, m, int(row), entries, h, sys, rhs)
+				j.solveRow(x, full, m, int(row), entries, h, sys, rhs, sol, ws)
 				w.AddWork(float64(len(entries))*float64(n+r)*float64(r) + float64(r*r*r))
 			}
 			if err := dplan.ExchangeRows(w, j.plan, m, full[m], false); err != nil {
@@ -131,7 +135,6 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 		// RMSE over all observations: each worker owns the mode-0
 		// entries of its mode-0 slices, a disjoint cover.
 		var local float64
-		tmp := make([]float64, r)
 		for _, e := range j.plan.EntryLists[me][0] {
 			base := int(e) * n
 			for c := range tmp {
@@ -169,9 +172,16 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 	if me == 0 {
 		result = make([]*mat.Dense, n)
 	}
+	maxOwned := 0
+	for m := 0; m < n; m++ {
+		if len(j.plan.OwnedSlices[m][me]) > maxOwned {
+			maxOwned = len(j.plan.OwnedSlices[m][me])
+		}
+	}
+	buf := make([]float64, 0, maxOwned*r)
 	for m := 0; m < n; m++ {
 		owned := j.plan.OwnedSlices[m][me]
-		buf := make([]float64, 0, len(owned)*r)
+		buf = buf[:0]
 		for _, s := range owned {
 			buf = append(buf, full[m].Row(int(s))...)
 		}
@@ -211,7 +221,7 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 
 // solveRow builds and solves one row's regularised normal system from
 // its observations — identical math to updateModeObserved.
-func (j *distJob) solveRow(x *tensor.Tensor, full []*mat.Dense, mode, row int, entries []int32, h []float64, sys, rhs *mat.Dense) {
+func (j *distJob) solveRow(x *tensor.Tensor, full []*mat.Dense, mode, row int, entries []int32, h []float64, sys, rhs, sol *mat.Dense, ws *mat.Workspace) {
 	n := x.Order()
 	r := len(h)
 	sys.Zero()
@@ -245,12 +255,16 @@ func (j *distJob) solveRow(x *tensor.Tensor, full []*mat.Dense, mode, row int, e
 	for i := 0; i < r; i++ {
 		sys.Set(i, i, sys.At(i, i)+j.opts.Lambda)
 	}
-	sol, err := mat.SolveSPD(sys, rhs)
-	if err != nil {
+	if err := mat.SolveSPDInto(sol, sys, rhs, ws); err != nil {
 		for i := 0; i < r; i++ {
 			sys.Set(i, i, sys.At(i, i)+1e-6+j.opts.Lambda*10)
 		}
-		sol = mat.Transpose(mat.SolveRightRidge(mat.Transpose(rhs), sys))
+		mark := ws.Mark()
+		rt := ws.Take(1, r)
+		mat.TransposeInto(rt, rhs)
+		mat.SolveRightRidgeInto(rt, rt, sys, ws)
+		mat.TransposeInto(sol, rt)
+		ws.Release(mark)
 	}
 	copy(full[mode].Row(row), sol.Data)
 }

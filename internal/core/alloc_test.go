@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"dismastd/internal/cluster"
+	"dismastd/internal/dtd"
+	"dismastd/internal/partition"
+)
+
+// TestWorkerComputePathAllocFree pins the tentpole property of the
+// workspace refactor on the distributed side: one full iteration of the
+// per-rank compute path — MTTKRP, Eq. (5) denominators, owned-row
+// updates, Gram partials and their application, and both halves of the
+// Eq. (4) loss — performs zero heap allocations at steady state.
+//
+// The transport collectives (AllReduceSum's reduced vector, the gob row
+// exchange) are deliberately outside the measured region: they allocate
+// by design in the Local transport and are exercised by the cluster
+// package's own tests. With Workers=1 the local Gram partial batch IS
+// the global sum, so feeding it back through applyGramSums reproduces
+// the algorithm's state transitions exactly.
+func TestWorkerComputePathAllocFree(t *testing.T) {
+	full := sparseRandom([]int{12, 10, 8}, 600, 5)
+	prevSnap := full.Prefix([]int{9, 8, 6})
+	opts := Options{Rank: 3, MaxIters: 5, Mu: 0.7, Seed: 11, Workers: 1, Method: partition.GTPMethod}
+	prev, _, err := dtd.Init(prevSnap, dtd.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Mu: opts.Mu, Seed: opts.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewStepJob(prev, full, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := cluster.NewLocal(1)
+	if _, err := cl.Run(func(w *cluster.Worker) error {
+		st := newWorkerState(job, w)
+		n := len(st.full)
+		// Establish the replicated Gram state as RunWorker does; with a
+		// single worker the partial batch equals the reduced sum.
+		for m := 0; m < n; m++ {
+			st.gramPartials(m)
+			st.applyGramSums(m, st.batch)
+		}
+		pass := func() {
+			for m := 0; m < n; m++ {
+				st.mttkrpMode(m)
+				st.denominators(m)
+				st.updateOwnedRows(m)
+				st.gramPartials(m)
+				st.applyGramSums(m, st.batch)
+			}
+			inner := st.lossLocalInner()
+			if st.lossFinish(inner) < 0 {
+				t.Error("negative loss")
+			}
+		}
+		pass() // warm-up: workspace slabs grow to their running maximum
+		if allocs := testing.AllocsPerRun(10, pass); allocs != 0 {
+			t.Errorf("steady-state core compute path allocates %v times per iteration, want 0", allocs)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkStepLocal measures one full distributed streaming step on
+// the in-process cluster — compute plus Local-transport collectives —
+// so -benchmem shows how much of the remaining allocation is transport.
+func BenchmarkStepLocal(b *testing.B) {
+	full := sparseRandom([]int{40, 30, 20}, 5000, 5)
+	prevSnap := full.Prefix([]int{32, 24, 16})
+	opts := Options{Rank: 8, MaxIters: 3, Mu: 0.7, Seed: 11, Workers: 2, Method: partition.GTPMethod}
+	prev, _, err := dtd.Init(prevSnap, dtd.Options{Rank: opts.Rank, MaxIters: 5, Mu: opts.Mu, Seed: opts.Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Step(prev, full, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -252,88 +252,140 @@ func (j *StepJob) precompute() {
 	j.compNormSq = j.plan.Tensor.NormSq()
 }
 
-// gramState is the replicated R×R intermediate set for one mode.
+// gramState is the replicated R×R intermediate set for one mode. The
+// three matrices are allocated once per worker and refreshed in place
+// by each all-reduce.
 type gramState struct {
 	g0    *mat.Dense // A^(0)ᵀA^(0)
 	g1    *mat.Dense // A^(1)ᵀA^(1)
 	cross *mat.Dense // ÃᵀA^(0)
 }
 
+// workerState is one rank's complete working set for a step: the local
+// factor replicas, the replicated Gram state, and every scratch buffer
+// the sweep needs. Everything is sized in newWorkerState, so the
+// steady-state compute path — MTTKRP, denominators, row updates, Gram
+// partials, loss — performs zero heap allocations; only the transport
+// collectives (all-reduce, row exchange) allocate.
+type workerState struct {
+	job *StepJob
+	w   *cluster.Worker
+
+	full  []*mat.Dense // local replica of the stacked factors
+	mbuf  []*mat.Dense // per-mode MTTKRP buffers, zeroed each sweep
+	grams []*gramState // replicated Gram state, refreshed in place
+	lastM *mat.Dense   // final mode's MTTKRP, reused by the loss
+
+	ws  *mat.Workspace
+	tmp []float64 // per-entry product buffer (MTTKRP, naive loss)
+
+	d0, d1 *mat.Dense // Eq. (5) denominators
+	g0prod *mat.Dense // ∗_{k≠n} g0
+	hprod  *mat.Dense // ∗_{k≠n} cross
+	sum    *mat.Dense // g0+g1 scratch
+
+	g0p, g1p, crossp *mat.Dense // local Gram partials, zeroed each reduce
+	batch            []float64  // 3R² all-reduce payload, rebuilt in place
+
+	ownedOld, ownedNew [][]int32 // per-mode owned rows split at oldDims
+
+	fullG         []*mat.Dense // per-mode g0+g1, rebuilt by the loss
+	zeroG, crossG []*mat.Dense // stable aliases of grams[m].g0 / .cross
+	h             *mat.Dense   // Hadamard-chain loss scratch
+
+	trace []float64
+	iters int
+}
+
+func newWorkerState(j *StepJob, w *cluster.Worker) *workerState {
+	n := len(j.init)
+	r := j.opts.Rank
+	st := &workerState{
+		job:   j,
+		w:     w,
+		ws:    mat.NewWorkspace(),
+		tmp:   make([]float64, r),
+		batch: make([]float64, 0, 3*r*r),
+		trace: make([]float64, 0, j.opts.MaxIters),
+	}
+	st.full = make([]*mat.Dense, n)
+	st.mbuf = make([]*mat.Dense, n)
+	st.grams = make([]*gramState, n)
+	st.fullG = make([]*mat.Dense, n)
+	st.zeroG = make([]*mat.Dense, n)
+	st.crossG = make([]*mat.Dense, n)
+	st.ownedOld = make([][]int32, n)
+	st.ownedNew = make([][]int32, n)
+	for m := 0; m < n; m++ {
+		st.full[m] = j.init[m].Clone()
+		st.mbuf[m] = mat.New(st.full[m].Rows, r)
+		st.grams[m] = &gramState{g0: mat.New(r, r), g1: mat.New(r, r), cross: mat.New(r, r)}
+		st.fullG[m] = mat.New(r, r)
+		st.zeroG[m] = st.grams[m].g0
+		st.crossG[m] = st.grams[m].cross
+		old := j.oldDims[m]
+		for _, s := range j.plan.OwnedSlices[m][w.Rank()] {
+			if int(s) < old {
+				st.ownedOld[m] = append(st.ownedOld[m], s)
+			} else {
+				st.ownedNew[m] = append(st.ownedNew[m], s)
+			}
+		}
+	}
+	st.d0 = mat.New(r, r)
+	st.d1 = mat.New(r, r)
+	st.g0prod = mat.New(r, r)
+	st.hprod = mat.New(r, r)
+	st.sum = mat.New(r, r)
+	st.g0p = mat.New(r, r)
+	st.g1p = mat.New(r, r)
+	st.crossp = mat.New(r, r)
+	st.h = mat.New(r, r)
+	return st
+}
+
 // RunWorker is the SPMD body executed by every rank. It must be called
 // exactly once per rank of a cluster of Workers() size.
 func (j *StepJob) RunWorker(w *cluster.Worker) error {
+	st := newWorkerState(j, w)
 	n := len(j.init)
-	r := j.opts.Rank
 	me := w.Rank()
-
-	// Local replica of the stacked factors.
-	full := make([]*mat.Dense, n)
-	for m := range full {
-		full[m] = j.init[m].Clone()
-	}
 
 	// Replicated Gram state, established by an initial all-reduce of
 	// per-owner partials.
-	grams := make([]*gramState, n)
 	for m := 0; m < n; m++ {
-		gs, err := j.reduceGrams(w, m, full[m])
-		if err != nil {
+		if err := st.reduceGrams(m); err != nil {
 			return err
 		}
-		grams[m] = gs
 	}
 
-	// Per-mode MTTKRP buffers, reused across sweeps (zeroed each time)
-	// to avoid re-allocating I_n x R matrices in the hot loop.
-	mbuf := make([]*mat.Dense, n)
-	for m := range mbuf {
-		mbuf[m] = mat.New(full[m].Rows, r)
-	}
-	var lastM *mat.Dense
 	prevLoss := math.Inf(1)
-	var trace []float64
-	iters := 0
 	for sweep := 0; sweep < j.opts.MaxIters; sweep++ {
 		for m := 0; m < n; m++ {
 			// 1. Distributed MTTKRP over this worker's mode-m entries.
-			M := mbuf[m]
-			M.Zero()
-			j.localMTTKRP(w, M, m, full)
+			st.mttkrpMode(m)
 
 			// 2. Row-wise update of owned rows.
-			d1 := hadamardExcept(grams, m, r, func(g *gramState) *mat.Dense {
-				s := mat.New(r, r)
-				s.Add(g.g0, g.g1)
-				return s
-			})
-			g0prod := hadamardExcept(grams, m, r, func(g *gramState) *mat.Dense { return g.g0 })
-			hprod := hadamardExcept(grams, m, r, func(g *gramState) *mat.Dense { return g.cross })
-			d0 := mat.New(r, r)
-			d0.Scale(-(1 - j.opts.Mu), g0prod)
-			d0.Add(d0, d1)
-
-			j.updateOwnedRows(w, m, full[m], M, d0, d1, hprod)
+			st.denominators(m)
+			st.updateOwnedRows(m)
 
 			// 3. All-to-all reduction of the partial Gram products.
-			gs, err := j.reduceGrams(w, m, full[m])
-			if err != nil {
+			if err := st.reduceGrams(m); err != nil {
 				return err
 			}
-			grams[m] = gs
 
 			// 4. Push updated rows to subscribers.
-			if err := dplan.ExchangeRows(w, j.plan, m, full[m], j.opts.BroadcastRows); err != nil {
+			if err := dplan.ExchangeRows(w, j.plan, m, st.full[m], j.opts.BroadcastRows); err != nil {
 				return err
 			}
-			lastM = M
 		}
 
-		loss, err := j.distributedLoss(w, grams, lastM, full)
+		loss, err := st.loss()
 		if err != nil {
 			return err
 		}
-		iters = sweep + 1
-		trace = append(trace, loss)
+		st.iters = sweep + 1
+		st.trace = append(st.trace, loss)
 		stop := relChange(prevLoss, loss) < j.opts.Tol
 		prevLoss = loss
 		if stop {
@@ -348,27 +400,31 @@ func (j *StepJob) RunWorker(w *cluster.Worker) error {
 	j.algo[me] = w.MetricsSnapshot()
 	j.mu.Unlock()
 
-	if err := j.gatherResult(w, full); err != nil {
+	if err := j.gatherResult(w, st.full); err != nil {
 		return err
 	}
 	if me == 0 {
 		j.mu.Lock()
-		j.iters = iters
-		j.lossTrace = trace
-		j.finalLoss = trace[len(trace)-1]
+		j.iters = st.iters
+		j.lossTrace = st.trace
+		j.finalLoss = st.trace[len(st.trace)-1]
 		j.mu.Unlock()
 	}
 	return nil
 }
 
-// localMTTKRP accumulates this worker's entries into the owned rows of
-// M (flat kernel over the plan's per-mode entry list).
-func (j *StepJob) localMTTKRP(w *cluster.Worker, M *mat.Dense, mode int, full []*mat.Dense) {
+// mttkrpMode zeroes the mode's MTTKRP buffer and accumulates this
+// worker's entries into it (flat kernel over the plan's per-mode entry
+// list), recording it as the loss's reusable lastM.
+func (st *workerState) mttkrpMode(mode int) {
+	j := st.job
+	M := st.mbuf[mode]
+	M.Zero()
 	comp := j.plan.Tensor
 	n := comp.Order()
 	r := M.Cols
-	tmp := make([]float64, r)
-	entries := j.plan.EntryLists[w.Rank()][mode]
+	tmp := st.tmp
+	entries := j.plan.EntryLists[st.w.Rank()][mode]
 	for _, e := range entries {
 		base := int(e) * n
 		v := comp.Vals[e]
@@ -379,7 +435,7 @@ func (j *StepJob) localMTTKRP(w *cluster.Worker, M *mat.Dense, mode int, full []
 			if k == mode {
 				continue
 			}
-			row := full[k].Row(int(comp.Coords[base+k]))
+			row := st.full[k].Row(int(comp.Coords[base+k]))
 			for c := range tmp {
 				tmp[c] *= row[c]
 			}
@@ -389,32 +445,61 @@ func (j *StepJob) localMTTKRP(w *cluster.Worker, M *mat.Dense, mode int, full []
 			out[c] += tmp[c]
 		}
 	}
-	w.AddWork(float64(len(entries)) * float64(n) * float64(r))
+	st.w.AddWork(float64(len(entries)) * float64(n) * float64(r))
+	st.lastM = M
+}
+
+// denominators fills d1 = ∗_{k≠mode}(g0+g1), g0prod = ∗_{k≠mode} g0,
+// hprod = ∗_{k≠mode} cross and d0 = d1 − (1−μ)·g0prod — the Eq. (5)
+// denominator set — falling back to the identity for first-order
+// tensors (no other modes).
+func (st *workerState) denominators(mode int) {
+	first := true
+	for k, g := range st.grams {
+		if k == mode {
+			continue
+		}
+		st.sum.Add(g.g0, g.g1)
+		if first {
+			st.d1.CopyFrom(st.sum)
+			st.g0prod.CopyFrom(g.g0)
+			st.hprod.CopyFrom(g.cross)
+			first = false
+		} else {
+			st.d1.Hadamard(st.d1, st.sum)
+			st.g0prod.Hadamard(st.g0prod, g.g0)
+			st.hprod.Hadamard(st.hprod, g.cross)
+		}
+	}
+	if first {
+		st.d1.SetIdentity()
+		st.g0prod.SetIdentity()
+		st.hprod.SetIdentity()
+	}
+	st.d0.Scale(-(1 - st.job.opts.Mu), st.g0prod)
+	st.d0.Add(st.d0, st.d1)
 }
 
 // updateOwnedRows applies the Eq. (5) row-wise updates to the rows this
-// worker owns in the given mode, in place.
-func (j *StepJob) updateOwnedRows(w *cluster.Worker, mode int, factor, M, d0, d1, hprod *mat.Dense) {
+// worker owns in the given mode, in place, with all block scratch taken
+// from the workspace.
+func (st *workerState) updateOwnedRows(mode int) {
+	j := st.job
+	factor := st.full[mode]
+	M := st.mbuf[mode]
 	r := factor.Cols
-	old := j.oldDims[mode]
-	owned := j.plan.OwnedSlices[mode][w.Rank()]
+	oldRows := st.ownedOld[mode]
+	newRows := st.ownedNew[mode]
 
-	var oldRows, newRows []int32
-	for _, s := range owned {
-		if int(s) < old {
-			oldRows = append(oldRows, s)
-		} else {
-			newRows = append(newRows, s)
-		}
-	}
-
+	mark := st.ws.Mark()
 	if len(oldRows) > 0 {
-		// Numerator block: μ·Ã[rows]·Hprod + M[rows].
-		tblock := mat.New(len(oldRows), r)
+		// Numerator block: μ·Ã[rows]·Hprod + M[rows], solved in place.
+		tblock := st.ws.Take(len(oldRows), r)
 		for i, s := range oldRows {
 			copy(tblock.Row(i), j.tilde[mode].Row(int(s)))
 		}
-		num := mat.Mul(tblock, hprod)
+		num := st.ws.Take(len(oldRows), r)
+		mat.MulInto(num, tblock, st.hprod)
 		num.Scale(j.opts.Mu, num)
 		for i, s := range oldRows {
 			row := num.Row(i)
@@ -423,64 +508,81 @@ func (j *StepJob) updateOwnedRows(w *cluster.Worker, mode int, factor, M, d0, d1
 				row[c] += src[c]
 			}
 		}
-		sol := mat.SolveRightRidge(num, d0)
+		mat.SolveRightRidgeInto(num, num, st.d0, st.ws)
 		for i, s := range oldRows {
-			copy(factor.Row(int(s)), sol.Row(i))
+			copy(factor.Row(int(s)), num.Row(i))
 		}
 	}
 	if len(newRows) > 0 {
-		num := mat.New(len(newRows), r)
+		num := st.ws.Take(len(newRows), r)
 		for i, s := range newRows {
 			copy(num.Row(i), M.Row(int(s)))
 		}
-		sol := mat.SolveRightRidge(num, d1)
+		mat.SolveRightRidgeInto(num, num, st.d1, st.ws)
 		for i, s := range newRows {
-			copy(factor.Row(int(s)), sol.Row(i))
+			copy(factor.Row(int(s)), num.Row(i))
 		}
 	}
+	st.ws.Release(mark)
 	// Old rows pay the μ·Ã·Hprod product plus the solve (2R² each), new
 	// rows just the solve (R²); the two R×R factorisations are R³ each.
 	rr := float64(r) * float64(r)
-	w.AddWork((2*float64(len(oldRows))+float64(len(newRows)))*rr + 2*float64(r)*rr)
+	st.w.AddWork((2*float64(len(oldRows))+float64(len(newRows)))*rr + 2*float64(r)*rr)
 }
 
-// reduceGrams computes this worker's partial ÃᵀA⁰, A⁰ᵀA⁰, A¹ᵀA¹ over its
-// owned rows and all-reduces the three matrices in one batched vector.
-func (j *StepJob) reduceGrams(w *cluster.Worker, mode int, factor *mat.Dense) (*gramState, error) {
+// gramPartials computes this worker's partial ÃᵀA⁰, A⁰ᵀA⁰, A¹ᵀA¹ over
+// its owned rows into the persistent partial matrices and packs them
+// into the batch payload.
+func (st *workerState) gramPartials(mode int) {
+	j := st.job
+	factor := st.full[mode]
 	r := factor.Cols
 	old := j.oldDims[mode]
-	g0 := mat.New(r, r)
-	g1 := mat.New(r, r)
-	cross := mat.New(r, r)
-	owned := j.plan.OwnedSlices[mode][w.Rank()]
+	st.g0p.Zero()
+	st.g1p.Zero()
+	st.crossp.Zero()
+	owned := j.plan.OwnedSlices[mode][st.w.Rank()]
 	oldRows := 0
 	for _, s := range owned {
 		row := factor.Row(int(s))
 		if int(s) < old {
-			accumOuter(g0, row, row)
-			accumOuter(cross, j.tilde[mode].Row(int(s)), row)
+			accumOuter(st.g0p, row, row)
+			accumOuter(st.crossp, j.tilde[mode].Row(int(s)), row)
 			oldRows++
 		} else {
-			accumOuter(g1, row, row)
+			accumOuter(st.g1p, row, row)
 		}
 	}
 	// Old rows contribute two outer products (G⁰ and the cross term),
 	// new rows one.
-	w.AddWork((2*float64(oldRows) + float64(len(owned)-oldRows)) * float64(r) * float64(r))
+	st.w.AddWork((2*float64(oldRows) + float64(len(owned)-oldRows)) * float64(r) * float64(r))
 
-	batch := make([]float64, 0, 3*r*r)
-	batch = append(batch, g0.Data...)
-	batch = append(batch, g1.Data...)
-	batch = append(batch, cross.Data...)
-	sum, err := w.AllReduceSum(batch)
+	st.batch = st.batch[:0]
+	st.batch = append(st.batch, st.g0p.Data...)
+	st.batch = append(st.batch, st.g1p.Data...)
+	st.batch = append(st.batch, st.crossp.Data...)
+}
+
+// applyGramSums unpacks a reduced 3R² vector into the mode's replicated
+// Gram state.
+func (st *workerState) applyGramSums(mode int, sum []float64) {
+	r := st.job.opts.Rank
+	g := st.grams[mode]
+	copy(g.g0.Data, sum[:r*r])
+	copy(g.g1.Data, sum[r*r:2*r*r])
+	copy(g.cross.Data, sum[2*r*r:])
+}
+
+// reduceGrams all-reduces the worker's Gram partials in one batched
+// vector and refreshes the mode's replicated state in place.
+func (st *workerState) reduceGrams(mode int) error {
+	st.gramPartials(mode)
+	sum, err := st.w.AllReduceSum(st.batch)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &gramState{
-		g0:    mat.NewFrom(r, r, sum[:r*r]),
-		g1:    mat.NewFrom(r, r, sum[r*r:2*r*r]),
-		cross: mat.NewFrom(r, r, sum[2*r*r:]),
-	}, nil
+	st.applyGramSums(mode, sum)
+	return nil
 }
 
 // accumOuter adds aᵀb (outer product of two row vectors) into dst.
@@ -496,26 +598,37 @@ func accumOuter(dst *mat.Dense, a, b []float64) {
 	}
 }
 
-// distributedLoss evaluates √L of Eq. (4). Every term except the tensor
-// inner product comes from the replicated Gram state; the inner product
-// reuses the final mode's MTTKRP rows (owned rows only, reduced), or —
+// loss evaluates √L of Eq. (4): the local inner-product term, one
+// scalar reduction, then the Gram-state finish — split so the compute
+// halves are separately testable for allocation-freedom.
+func (st *workerState) loss() (float64, error) {
+	inner, err := st.w.ReduceScalarSum(st.lossLocalInner())
+	if err != nil {
+		return 0, err
+	}
+	return st.lossFinish(inner), nil
+}
+
+// lossLocalInner computes this worker's share of the tensor-model inner
+// product, reusing the final mode's MTTKRP rows (owned rows only), or —
 // under the NaiveLoss ablation — a full second pass over the entries.
-func (j *StepJob) distributedLoss(w *cluster.Worker, grams []*gramState, lastM *mat.Dense, full []*mat.Dense) (float64, error) {
-	n := len(full)
+func (st *workerState) lossLocalInner() float64 {
+	j := st.job
+	n := len(st.full)
 	r := j.opts.Rank
 
 	var localInner float64
 	if j.opts.NaiveLoss {
 		comp := j.plan.Tensor
-		tmp := make([]float64, r)
-		entries := j.plan.EntryLists[w.Rank()][n-1]
+		tmp := st.tmp
+		entries := j.plan.EntryLists[st.w.Rank()][n-1]
 		for _, e := range entries {
 			base := int(e) * n
 			for c := range tmp {
 				tmp[c] = 1
 			}
 			for k := 0; k < n; k++ {
-				row := full[k].Row(int(comp.Coords[base+k]))
+				row := st.full[k].Row(int(comp.Coords[base+k]))
 				for c := range tmp {
 					tmp[c] *= row[c]
 				}
@@ -526,36 +639,35 @@ func (j *StepJob) distributedLoss(w *cluster.Worker, grams []*gramState, lastM *
 			}
 			localInner += comp.Vals[e] * s
 		}
-		w.AddWork(float64(len(entries)) * float64(n) * float64(r))
+		st.w.AddWork(float64(len(entries)) * float64(n) * float64(r))
 	} else {
 		last := n - 1
-		for _, s := range j.plan.OwnedSlices[last][w.Rank()] {
-			mrow := lastM.Row(int(s))
-			arow := full[last].Row(int(s))
+		for _, s := range j.plan.OwnedSlices[last][st.w.Rank()] {
+			mrow := st.lastM.Row(int(s))
+			arow := st.full[last].Row(int(s))
 			for c := range mrow {
 				localInner += mrow[c] * arow[c]
 			}
 		}
-		w.AddWork(float64(len(j.plan.OwnedSlices[last][w.Rank()])) * float64(r))
+		st.w.AddWork(float64(len(j.plan.OwnedSlices[last][st.w.Rank()])) * float64(r))
 	}
-	inner, err := w.ReduceScalarSum(localInner)
-	if err != nil {
-		return 0, err
-	}
+	return localInner
+}
 
-	fullG := make([]*mat.Dense, n)
-	zeroG := make([]*mat.Dense, n)
-	crossG := make([]*mat.Dense, n)
+// lossFinish turns the reduced inner product and the replicated Gram
+// state into √L, entirely from persistent scratch.
+func (st *workerState) lossFinish(inner float64) float64 {
+	j := st.job
+	n := len(st.full)
 	for m := 0; m < n; m++ {
-		s := mat.New(r, r)
-		s.Add(grams[m].g0, grams[m].g1)
-		fullG[m] = s
-		zeroG[m] = grams[m].g0
-		crossG[m] = grams[m].cross
+		st.fullG[m].Add(st.grams[m].g0, st.grams[m].g1)
 	}
-	model0Sq := mat.SumAll(mat.HadamardAll(zeroG...))
-	modelFullSq := mat.SumAll(mat.HadamardAll(fullG...))
-	crossOld := mat.SumAll(mat.HadamardAll(crossG...))
+	mat.HadamardAllInto(st.h, st.zeroG...)
+	model0Sq := mat.SumAll(st.h)
+	mat.HadamardAllInto(st.h, st.fullG...)
+	modelFullSq := mat.SumAll(st.h)
+	mat.HadamardAllInto(st.h, st.crossG...)
+	crossOld := mat.SumAll(st.h)
 
 	oldTerm := j.opts.Mu * (j.cTilde + model0Sq - 2*crossOld)
 	newTerm := j.compNormSq - 2*inner + (modelFullSq - model0Sq)
@@ -563,7 +675,7 @@ func (j *StepJob) distributedLoss(w *cluster.Worker, grams []*gramState, lastM *
 	if l < 0 {
 		l = 0
 	}
-	return math.Sqrt(l), nil
+	return math.Sqrt(l)
 }
 
 // gatherResult collects every worker's owned rows at rank 0 and
@@ -575,9 +687,16 @@ func (j *StepJob) gatherResult(w *cluster.Worker, full []*mat.Dense) error {
 	if w.Rank() == 0 {
 		result = make([]*mat.Dense, n)
 	}
+	maxOwned := 0
+	for m := 0; m < n; m++ {
+		if len(j.plan.OwnedSlices[m][w.Rank()]) > maxOwned {
+			maxOwned = len(j.plan.OwnedSlices[m][w.Rank()])
+		}
+	}
+	buf := make([]float64, 0, maxOwned*r)
 	for m := 0; m < n; m++ {
 		owned := j.plan.OwnedSlices[m][w.Rank()]
-		buf := make([]float64, 0, len(owned)*r)
+		buf = buf[:0]
 		for _, s := range owned {
 			buf = append(buf, full[m].Row(int(s))...)
 		}
@@ -610,24 +729,6 @@ func (j *StepJob) gatherResult(w *cluster.Worker, full []*mat.Dense) error {
 		j.mu.Unlock()
 	}
 	return nil
-}
-
-func hadamardExcept(grams []*gramState, mode, r int, pick func(*gramState) *mat.Dense) *mat.Dense {
-	var out *mat.Dense
-	for k, g := range grams {
-		if k == mode {
-			continue
-		}
-		if out == nil {
-			out = pick(g).Clone()
-		} else {
-			out.Hadamard(out, pick(g))
-		}
-	}
-	if out == nil {
-		out = mat.Eye(r)
-	}
-	return out
 }
 
 func relChange(prev, cur float64) float64 {

@@ -106,32 +106,42 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 	normSq := x.NormSq()
 	norm := math.Sqrt(normSq)
 
+	// Everything the sweep loop needs is allocated here, once: factor
+	// updates, Gram refreshes and the loss all run in place, so the
+	// steady-state iteration performs zero heap allocations.
+	ws := mat.NewWorkspace()
 	grams := make([]*mat.Dense, n)
 	for m := range factors {
 		grams[m] = mat.Gram(factors[m])
 	}
 	views := make([]*mttkrp.ModeView, n)
+	mbuf := make([]*mat.Dense, n)
 	for m := 0; m < n; m++ {
 		views[m] = mttkrp.NewModeView(x, m)
+		mbuf[m] = mat.New(x.Dims[m], opts.Rank)
 	}
+	denom := mat.New(opts.Rank, opts.Rank)
+	hall := mat.New(opts.Rank, opts.Rank)
 
-	res := &Result{Factors: factors}
+	res := &Result{Factors: factors, LossTrace: make([]float64, 0, opts.MaxIters)}
 	prevFit := math.Inf(-1)
 	for it := 0; it < opts.MaxIters; it++ {
 		var lastM *mat.Dense
 		for m := 0; m < n; m++ {
-			M := mat.New(x.Dims[m], opts.Rank)
-			views[m].AccumulateInto(M, x, factors)
-			denom := hadamardExcept(grams, m, opts.Rank)
-			factors[m] = mat.SolveRightRidge(M, denom)
-			grams[m] = mat.Gram(factors[m])
+			M := mbuf[m]
+			M.Zero()
+			views[m].AccumulateIntoWS(M, x, factors, ws)
+			hadamardExceptInto(denom, grams, m)
+			mat.SolveRightRidgeInto(factors[m], M, denom, ws)
+			mat.GramInto(grams[m], factors[m])
 			lastM = M
 		}
 		res.Factors = factors
 		res.Iters = it + 1
 
 		inner := mat.Dot(lastM, factors[n-1])
-		modelSq := mat.SumAll(mat.HadamardAll(grams...))
+		mat.HadamardAllInto(hall, grams...)
+		modelSq := mat.SumAll(hall)
 		lossSq := normSq - 2*inner + modelSq
 		if lossSq < 0 {
 			lossSq = 0 // guard tiny negative round-off
@@ -147,24 +157,25 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 	return res, nil
 }
 
-// hadamardExcept returns ∗_{k≠mode} grams[k], or the identity when the
-// tensor is first-order (no other modes).
-func hadamardExcept(grams []*mat.Dense, mode, r int) *mat.Dense {
-	var out *mat.Dense
+// hadamardExceptInto stores ∗_{k≠mode} grams[k] into dst, or the
+// identity when the tensor is first-order (no other modes). dst must
+// not be one of the grams.
+func hadamardExceptInto(dst *mat.Dense, grams []*mat.Dense, mode int) {
+	first := true
 	for k, g := range grams {
 		if k == mode {
 			continue
 		}
-		if out == nil {
-			out = g.Clone()
+		if first {
+			dst.CopyFrom(g)
+			first = false
 		} else {
-			out.Hadamard(out, g)
+			dst.Hadamard(dst, g)
 		}
 	}
-	if out == nil {
-		out = mat.Eye(r)
+	if first {
+		dst.SetIdentity()
 	}
-	return out
 }
 
 // Reconstruct evaluates the Kruskal model at one coordinate:

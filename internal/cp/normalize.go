@@ -18,8 +18,21 @@ func Normalize(factors []*mat.Dense) []float64 {
 	if len(factors) == 0 {
 		panic("cp: Normalize of no factors")
 	}
+	return NormalizeInto(make([]float64, factors[0].Cols), factors)
+}
+
+// NormalizeInto is Normalize with the weight vector provided by the
+// caller — typically checked out of a mat.Workspace — so per-snapshot
+// normalisation in a streaming loop allocates nothing. lambda must have
+// length factors[0].Cols; it is fully overwritten and returned.
+func NormalizeInto(lambda []float64, factors []*mat.Dense) []float64 {
+	if len(factors) == 0 {
+		panic("cp: Normalize of no factors")
+	}
 	r := factors[0].Cols
-	lambda := make([]float64, r)
+	if len(lambda) != r {
+		panic(fmt.Sprintf("cp: NormalizeInto with %d weights for rank %d", len(lambda), r))
+	}
 	for i := range lambda {
 		lambda[i] = 1
 	}

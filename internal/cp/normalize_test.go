@@ -53,6 +53,61 @@ func TestNormalizePreservesModel(t *testing.T) {
 	}
 }
 
+// TestNormalizeIntoRoundTrip drives the workspace-backed form through a
+// full normalize/denormalize round trip: Reconstruct is preserved, the
+// caller's buffer is the one returned, and the steady-state call
+// allocates nothing.
+func TestNormalizeIntoRoundTrip(t *testing.T) {
+	src := xrand.New(9)
+	build := func() []*mat.Dense {
+		return []*mat.Dense{
+			mat.RandomGaussian(5, 3, src),
+			mat.RandomGaussian(4, 3, src),
+			mat.RandomGaussian(3, 3, src),
+		}
+	}
+	factors := build()
+	var before []float64
+	for i := 0; i < 5; i++ {
+		before = append(before, Reconstruct(factors, []int{i, i % 4, i % 3}))
+	}
+
+	ws := mat.NewWorkspace()
+	lambda := NormalizeInto(ws.TakeVec(3), factors)
+	if len(lambda) != 3 {
+		t.Fatalf("NormalizeInto returned %d weights", len(lambda))
+	}
+	Denormalize(factors, lambda)
+	for i, want := range before {
+		got := Reconstruct(factors, []int{i, i % 4, i % 3})
+		if math.Abs(got-want) > 1e-10*(1+math.Abs(want)) {
+			t.Fatalf("round-trip value %d changed: %v vs %v", i, got, want)
+		}
+	}
+	ws.Reset()
+
+	// The streaming pattern — normalise a snapshot per step with a
+	// recycled buffer — must be allocation-free at steady state.
+	norm := func() {
+		mark := ws.Mark()
+		l := NormalizeInto(ws.TakeVec(3), factors)
+		Denormalize(factors, l)
+		ws.Release(mark)
+	}
+	norm()
+	if allocs := testing.AllocsPerRun(50, norm); allocs != 0 {
+		t.Fatalf("NormalizeInto round trip allocates %v times, want 0", allocs)
+	}
+
+	// Wrong-length buffers are rejected rather than mis-scaled.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NormalizeInto with short lambda did not panic")
+		}
+	}()
+	NormalizeInto(make([]float64, 2), factors)
+}
+
 func TestNormalizeZeroColumn(t *testing.T) {
 	f0 := mat.NewFrom(2, 2, []float64{1, 0, 2, 0})
 	f1 := mat.NewFrom(2, 2, []float64{3, 0, 4, 0})

@@ -148,17 +148,24 @@ func (j *job) runWorker(w *cluster.Worker) error {
 	n := x.Order()
 	r := j.opts.Rank
 
+	// Everything the sweep loop needs is allocated here, once; the
+	// steady-state iteration allocates only inside the transport
+	// collectives.
+	ws := mat.NewWorkspace()
+	tmp := make([]float64, r)
 	full := make([]*mat.Dense, n)
 	for m := range full {
 		full[m] = j.init[m].Clone()
 	}
 	grams := make([]*mat.Dense, n)
 	for m := 0; m < n; m++ {
-		g, err := j.reduceGram(w, m, full[m])
-		if err != nil {
+		grams[m] = mat.New(r, r)
+	}
+	gp := mat.New(r, r) // local Gram partial
+	for m := 0; m < n; m++ {
+		if err := j.reduceGram(w, m, full[m], grams[m], gp); err != nil {
 			return err
 		}
-		grams[m] = g
 	}
 
 	norm := math.Sqrt(j.normSq)
@@ -166,24 +173,24 @@ func (j *job) runWorker(w *cluster.Worker) error {
 	for m := range mbuf {
 		mbuf[m] = mat.New(x.Dims[m], r)
 	}
+	denom := mat.New(r, r)
+	hall := mat.New(r, r)
 	var lastM *mat.Dense
 	prevFit := math.Inf(-1)
-	var trace []float64
+	trace := make([]float64, 0, j.opts.MaxIters)
 	iters := 0
 	for sweep := 0; sweep < j.opts.MaxIters; sweep++ {
 		for m := 0; m < n; m++ {
 			M := mbuf[m]
 			M.Zero()
-			j.localMTTKRP(w, M, m, full)
+			j.localMTTKRP(w, M, m, full, tmp)
 
-			denom := hadamardExcept(grams, m, r)
-			j.updateOwnedRows(w, m, full[m], M, denom)
+			hadamardExceptInto(denom, grams, m)
+			j.updateOwnedRows(w, m, full[m], M, denom, ws)
 
-			g, err := j.reduceGram(w, m, full[m])
-			if err != nil {
+			if err := j.reduceGram(w, m, full[m], grams[m], gp); err != nil {
 				return err
 			}
-			grams[m] = g
 			if err := dplan.ExchangeRows(w, j.plan, m, full[m], false); err != nil {
 				return err
 			}
@@ -202,7 +209,8 @@ func (j *job) runWorker(w *cluster.Worker) error {
 		if err != nil {
 			return err
 		}
-		modelSq := mat.SumAll(mat.HadamardAll(grams...))
+		mat.HadamardAllInto(hall, grams...)
+		modelSq := mat.SumAll(hall)
 		lossSq := j.normSq - 2*inner + modelSq
 		if lossSq < 0 {
 			lossSq = 0
@@ -237,11 +245,10 @@ func (j *job) runWorker(w *cluster.Worker) error {
 	return nil
 }
 
-func (j *job) localMTTKRP(w *cluster.Worker, M *mat.Dense, mode int, full []*mat.Dense) {
+func (j *job) localMTTKRP(w *cluster.Worker, M *mat.Dense, mode int, full []*mat.Dense, tmp []float64) {
 	x := j.plan.Tensor
 	n := x.Order()
 	r := M.Cols
-	tmp := make([]float64, r)
 	entries := j.plan.EntryLists[w.Rank()][mode]
 	for _, e := range entries {
 		base := int(e) * n
@@ -266,27 +273,32 @@ func (j *job) localMTTKRP(w *cluster.Worker, M *mat.Dense, mode int, full []*mat
 	w.AddWork(float64(len(entries)) * float64(n) * float64(r))
 }
 
-func (j *job) updateOwnedRows(w *cluster.Worker, mode int, factor, M, denom *mat.Dense) {
+func (j *job) updateOwnedRows(w *cluster.Worker, mode int, factor, M, denom *mat.Dense, ws *mat.Workspace) {
 	r := factor.Cols
 	owned := j.plan.OwnedSlices[mode][w.Rank()]
 	if len(owned) == 0 {
 		return
 	}
-	num := mat.New(len(owned), r)
+	mark := ws.Mark()
+	num := ws.Take(len(owned), r)
 	for i, s := range owned {
 		copy(num.Row(i), M.Row(int(s)))
 	}
-	sol := mat.SolveRightRidge(num, denom)
+	mat.SolveRightRidgeInto(num, num, denom, ws)
 	for i, s := range owned {
-		copy(factor.Row(int(s)), sol.Row(i))
+		copy(factor.Row(int(s)), num.Row(i))
 	}
+	ws.Release(mark)
 	// One R² solve per row plus the replicated R³ factorisation.
 	w.AddWork(float64(len(owned))*float64(r)*float64(r) + float64(r*r*r))
 }
 
-func (j *job) reduceGram(w *cluster.Worker, mode int, factor *mat.Dense) (*mat.Dense, error) {
+// reduceGram accumulates this worker's Gram partial over its owned rows
+// into the scratch matrix g, all-reduces it, and refreshes gram in
+// place with the cluster-wide sum.
+func (j *job) reduceGram(w *cluster.Worker, mode int, factor, gram, g *mat.Dense) error {
 	r := factor.Cols
-	g := mat.New(r, r)
+	g.Zero()
 	owned := j.plan.OwnedSlices[mode][w.Rank()]
 	for _, s := range owned {
 		row := factor.Row(int(s))
@@ -303,9 +315,10 @@ func (j *job) reduceGram(w *cluster.Worker, mode int, factor *mat.Dense) (*mat.D
 	w.AddWork(float64(len(owned)) * float64(r) * float64(r))
 	sum, err := w.AllReduceSum(g.Data)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return mat.NewFrom(r, r, sum), nil
+	copy(gram.Data, sum)
+	return nil
 }
 
 func (j *job) gatherResult(w *cluster.Worker, full []*mat.Dense) error {
@@ -315,9 +328,16 @@ func (j *job) gatherResult(w *cluster.Worker, full []*mat.Dense) error {
 	if w.Rank() == 0 {
 		result = make([]*mat.Dense, n)
 	}
+	maxOwned := 0
+	for m := 0; m < n; m++ {
+		if len(j.plan.OwnedSlices[m][w.Rank()]) > maxOwned {
+			maxOwned = len(j.plan.OwnedSlices[m][w.Rank()])
+		}
+	}
+	buf := make([]float64, 0, maxOwned*r)
 	for m := 0; m < n; m++ {
 		owned := j.plan.OwnedSlices[m][w.Rank()]
-		buf := make([]float64, 0, len(owned)*r)
+		buf = buf[:0]
 		for _, s := range owned {
 			buf = append(buf, full[m].Row(int(s))...)
 		}
@@ -352,20 +372,23 @@ func (j *job) gatherResult(w *cluster.Worker, full []*mat.Dense) error {
 	return nil
 }
 
-func hadamardExcept(grams []*mat.Dense, mode, r int) *mat.Dense {
-	var out *mat.Dense
+// hadamardExceptInto stores ∗_{k≠mode} grams[k] into dst, or the
+// identity when there are no other modes. dst must not be one of the
+// grams.
+func hadamardExceptInto(dst *mat.Dense, grams []*mat.Dense, mode int) {
+	first := true
 	for k, g := range grams {
 		if k == mode {
 			continue
 		}
-		if out == nil {
-			out = g.Clone()
+		if first {
+			dst.CopyFrom(g)
+			first = false
 		} else {
-			out.Hadamard(out, g)
+			dst.Hadamard(dst, g)
 		}
 	}
-	if out == nil {
-		out = mat.Eye(r)
+	if first {
+		dst.SetIdentity()
 	}
-	return out
 }

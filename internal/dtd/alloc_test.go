@@ -1,0 +1,46 @@
+package dtd
+
+import (
+	"testing"
+
+	"dismastd/internal/mat"
+	"dismastd/internal/xrand"
+)
+
+// TestIterationAllocFree pins the tentpole property of the workspace
+// refactor: once the iteration's buffers are warm, a full DTD sweep —
+// the Eq. (5) updates over every mode plus the Eq. (4) loss — performs
+// zero heap allocations.
+func TestIterationAllocFree(t *testing.T) {
+	full := sparseRandom([]int{12, 10, 8}, 600, 5)
+	prevSnap := full.Prefix([]int{9, 8, 6})
+	opts := Options{Rank: 3, MaxIters: 5, Mu: 0.7, Seed: 11}
+	prev, _, err := Init(prevSnap, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err = opts.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp := full.Complement(prev.Dims)
+	src := xrand.New(opts.Seed)
+	stacked := make([]*mat.Dense, full.Order())
+	for m := 0; m < full.Order(); m++ {
+		growth := mat.RandomUniform(full.Dims[m]-prev.Dims[m], opts.Rank, src)
+		stacked[m] = mat.StackRows(prev.Factors[m], growth)
+	}
+	it := newIteration(prev, comp, stacked, prev.Dims, opts)
+
+	pass := func() {
+		it.sweep()
+		if it.loss() < 0 {
+			t.Fatal("negative loss")
+		}
+	}
+	pass() // warm-up: workspace slabs grow to their running maximum
+	if allocs := testing.AllocsPerRun(10, pass); allocs != 0 {
+		t.Fatalf("steady-state DTD iteration allocates %v times per sweep, want 0", allocs)
+	}
+}

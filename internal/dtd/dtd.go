@@ -133,7 +133,7 @@ func Step(prev *State, snapshot *tensor.Tensor, o Options) (*State, *Stats, erro
 	}
 
 	it := newIteration(prev, comp, full, oldDims, opts)
-	stats := &Stats{ComplementNNZ: comp.NNZ()}
+	stats := &Stats{ComplementNNZ: comp.NNZ(), LossTrace: make([]float64, 0, opts.MaxIters)}
 	prevLoss := math.Inf(1)
 	for sweep := 0; sweep < opts.MaxIters; sweep++ {
 		it.sweep()
@@ -173,9 +173,11 @@ func relChange(prev, cur float64) float64 {
 }
 
 // iteration holds the per-step working set: the complement tensor and
-// its mode views, the stacked factors, and the cached Gram blocks the
+// its mode views, the stacked factors, the cached Gram blocks the
 // update rules and the loss both reuse (the paper's "maintain and reuse
-// the intermediate results").
+// the intermediate results"), and every scratch buffer the sweep needs.
+// All buffers are sized once in newIteration, so a steady-state sweep —
+// sweep() plus loss() — performs zero heap allocations.
 type iteration struct {
 	opts    Options
 	oldDims []int
@@ -184,17 +186,28 @@ type iteration struct {
 	comp    *tensor.Tensor
 	views   []*mttkrp.ModeView
 
-	gram0 []*mat.Dense // A_n^(0)ᵀ A_n^(0)
-	gram1 []*mat.Dense // A_n^(1)ᵀ A_n^(1)
-	cross []*mat.Dense // Ã_nᵀ A_n^(0)
+	gram0 []*mat.Dense // A_n^(0)ᵀ A_n^(0), refreshed in place
+	gram1 []*mat.Dense // A_n^(1)ᵀ A_n^(1), refreshed in place
+	cross []*mat.Dense // Ã_nᵀ A_n^(0), refreshed in place
 
 	cTilde     float64 // Σ_{r,s} ∗_k (Ã_kᵀÃ_k) — precomputed constant
 	compNormSq float64 // ‖X\X̃‖² — precomputed constant
 	lastM      *mat.Dense
+
+	ws       *mat.Workspace
+	mbuf     []*mat.Dense // per-mode MTTKRP buffers, zeroed each sweep
+	a0v, a1v []*mat.Dense // old/growth block views into full[m] (stable)
+	m0v, m1v []*mat.Dense // old/growth block views into mbuf[m] (stable)
+	d0, d1   *mat.Dense   // Eq. (5) denominators
+	g0prod   *mat.Dense   // ∗_{k≠n} gram0[k]
+	hprod    *mat.Dense   // ∗_{k≠n} cross[k]
+	sum      *mat.Dense   // gram0[k]+gram1[k] scratch
+	fullG    []*mat.Dense // per-mode gram0+gram1, rebuilt by loss()
 }
 
 func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims []int, opts Options) *iteration {
 	n := len(full)
+	r := opts.Rank
 	it := &iteration{
 		opts:       opts,
 		oldDims:    oldDims,
@@ -202,6 +215,7 @@ func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims [
 		full:       full,
 		comp:       comp,
 		compNormSq: comp.NormSq(),
+		ws:         mat.NewWorkspace(),
 	}
 	gramsTilde := make([]*mat.Dense, n)
 	for m := 0; m < n; m++ {
@@ -212,73 +226,91 @@ func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims [
 	it.gram0 = make([]*mat.Dense, n)
 	it.gram1 = make([]*mat.Dense, n)
 	it.cross = make([]*mat.Dense, n)
+	it.mbuf = make([]*mat.Dense, n)
+	it.a0v = make([]*mat.Dense, n)
+	it.a1v = make([]*mat.Dense, n)
+	it.m0v = make([]*mat.Dense, n)
+	it.m1v = make([]*mat.Dense, n)
+	it.fullG = make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		old := oldDims[m]
+		it.gram0[m] = mat.New(r, r)
+		it.gram1[m] = mat.New(r, r)
+		it.cross[m] = mat.New(r, r)
+		it.fullG[m] = mat.New(r, r)
+		it.mbuf[m] = mat.New(full[m].Rows, r)
+		it.a0v[m] = full[m].SliceRows(0, old)
+		it.a1v[m] = full[m].SliceRows(old, full[m].Rows)
+		it.m0v[m] = it.mbuf[m].SliceRows(0, old)
+		it.m1v[m] = it.mbuf[m].SliceRows(old, it.mbuf[m].Rows)
+	}
+	it.d0 = mat.New(r, r)
+	it.d1 = mat.New(r, r)
+	it.g0prod = mat.New(r, r)
+	it.hprod = mat.New(r, r)
+	it.sum = mat.New(r, r)
 	for m := 0; m < n; m++ {
 		it.refreshGrams(m)
 	}
 	return it
 }
 
-func (it *iteration) blocks(m int) (a0, a1 *mat.Dense) {
-	old := it.oldDims[m]
-	return it.full[m].SliceRows(0, old), it.full[m].SliceRows(old, it.full[m].Rows)
-}
-
 func (it *iteration) refreshGrams(m int) {
-	a0, a1 := it.blocks(m)
-	it.gram0[m] = mat.Gram(a0)
-	it.gram1[m] = mat.Gram(a1)
-	it.cross[m] = mat.CrossGram(it.tilde[m], a0)
+	mat.GramInto(it.gram0[m], it.a0v[m])
+	mat.GramInto(it.gram1[m], it.a1v[m])
+	mat.CrossGramInto(it.cross[m], it.tilde[m], it.a0v[m])
 }
 
-// hadamardExcept multiplies pick(k) elementwise over all modes k ≠ mode.
-func (it *iteration) hadamardExcept(mode int, pick func(k int) *mat.Dense) *mat.Dense {
-	var out *mat.Dense
+// denominators fills d1 = ∗_{k≠mode}(gram0+gram1), g0prod =
+// ∗_{k≠mode} gram0 and hprod = ∗_{k≠mode} cross — the three Hadamard
+// chains of Eq. (5) — falling back to the identity for first-order
+// tensors (no other modes).
+func (it *iteration) denominators(mode int) {
+	first := true
 	for k := range it.full {
 		if k == mode {
 			continue
 		}
-		if out == nil {
-			out = pick(k).Clone()
+		it.sum.Add(it.gram0[k], it.gram1[k])
+		if first {
+			it.d1.CopyFrom(it.sum)
+			it.g0prod.CopyFrom(it.gram0[k])
+			it.hprod.CopyFrom(it.cross[k])
+			first = false
 		} else {
-			out.Hadamard(out, pick(k))
+			it.d1.Hadamard(it.d1, it.sum)
+			it.g0prod.Hadamard(it.g0prod, it.gram0[k])
+			it.hprod.Hadamard(it.hprod, it.cross[k])
 		}
 	}
-	if out == nil {
-		out = mat.Eye(it.opts.Rank)
+	if first {
+		it.d1.SetIdentity()
+		it.g0prod.SetIdentity()
+		it.hprod.SetIdentity()
 	}
-	return out
 }
 
 // sweep performs one pass of the Eq. (5) updates over every mode.
 func (it *iteration) sweep() {
 	r := it.opts.Rank
 	for m := range it.full {
-		M := mat.New(it.full[m].Rows, r)
-		it.views[m].AccumulateInto(M, it.comp, it.full)
+		M := it.mbuf[m]
+		M.Zero()
+		it.views[m].AccumulateIntoWS(M, it.comp, it.full, it.ws)
 
-		d1 := it.hadamardExcept(m, func(k int) *mat.Dense {
-			s := mat.New(r, r)
-			s.Add(it.gram0[k], it.gram1[k])
-			return s
-		})
-		g0prod := it.hadamardExcept(m, func(k int) *mat.Dense { return it.gram0[k] })
-		hprod := it.hadamardExcept(m, func(k int) *mat.Dense { return it.cross[k] })
+		it.denominators(m)
+		it.d0.Scale(-(1 - it.opts.Mu), it.g0prod)
+		it.d0.Add(it.d0, it.d1)
 
-		d0 := mat.New(r, r)
-		d0.Scale(-(1 - it.opts.Mu), g0prod)
-		d0.Add(d0, d1)
-
-		old := it.oldDims[m]
-		num0 := mat.Mul(it.tilde[m], hprod)
+		mark := it.ws.Mark()
+		num0 := it.ws.Take(it.oldDims[m], r)
+		mat.MulInto(num0, it.tilde[m], it.hprod)
 		num0.Scale(it.opts.Mu, num0)
-		num0.AddScaled(1, M.SliceRows(0, old))
+		num0.AddScaled(1, it.m0v[m])
 
-		a0 := mat.SolveRightRidge(num0, d0)
-		a1 := mat.SolveRightRidge(M.SliceRows(old, M.Rows), d1)
-
-		dst0, dst1 := it.blocks(m)
-		dst0.CopyFrom(a0)
-		dst1.CopyFrom(a1)
+		mat.SolveRightRidgeInto(it.a0v[m], num0, it.d0, it.ws)
+		mat.SolveRightRidgeInto(it.a1v[m], it.m1v[m], it.d1, it.ws)
+		it.ws.Release(mark)
 		it.refreshGrams(m)
 		it.lastM = M
 	}
@@ -290,17 +322,18 @@ func (it *iteration) sweep() {
 // difference of full and old-block model norms.
 func (it *iteration) loss() float64 {
 	n := len(it.full)
-	full := make([]*mat.Dense, n)
-	zero := make([]*mat.Dense, n)
 	for m := 0; m < n; m++ {
-		s := mat.New(it.opts.Rank, it.opts.Rank)
-		s.Add(it.gram0[m], it.gram1[m])
-		full[m] = s
-		zero[m] = it.gram0[m]
+		it.fullG[m].Add(it.gram0[m], it.gram1[m])
 	}
-	model0Sq := mat.SumAll(mat.HadamardAll(zero...))
-	modelFullSq := mat.SumAll(mat.HadamardAll(full...))
-	crossOld := mat.SumAll(mat.HadamardAll(it.cross...))
+	mark := it.ws.Mark()
+	h := it.ws.Take(it.opts.Rank, it.opts.Rank)
+	mat.HadamardAllInto(h, it.gram0...)
+	model0Sq := mat.SumAll(h)
+	mat.HadamardAllInto(h, it.fullG...)
+	modelFullSq := mat.SumAll(h)
+	mat.HadamardAllInto(h, it.cross...)
+	crossOld := mat.SumAll(h)
+	it.ws.Release(mark)
 
 	oldTerm := it.opts.Mu * (it.cTilde + model0Sq - 2*crossOld)
 	inner := mat.Dot(it.lastM, it.full[n-1])

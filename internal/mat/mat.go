@@ -43,10 +43,19 @@ func NewFrom(r, c int, data []float64) *Dense {
 // Eye returns the n x n identity matrix.
 func Eye(n int) *Dense {
 	m := New(n, n)
-	for i := 0; i < n; i++ {
-		m.Data[i*n+i] = 1
-	}
+	m.SetIdentity()
 	return m
+}
+
+// SetIdentity overwrites the square matrix m with the identity.
+func (m *Dense) SetIdentity() {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("mat: SetIdentity on non-square %dx%d", m.Rows, m.Cols))
+	}
+	m.Zero()
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] = 1
+	}
 }
 
 // At returns the element at row i, column j.
@@ -65,9 +74,11 @@ func (m *Dense) Clone() *Dense {
 	return out
 }
 
-// CopyFrom copies src into m. Dimensions must match.
+// CopyFrom copies src into m. Dimensions must match. m may be src
+// itself but must not partially overlap it.
 func (m *Dense) CopyFrom(src *Dense) {
 	m.mustSameShape(src, "CopyFrom")
+	mustElementwiseAlias("CopyFrom", m, src)
 	copy(m.Data, src.Data)
 }
 
@@ -91,35 +102,42 @@ func (m *Dense) mustSameShape(o *Dense, op string) {
 	}
 }
 
-// Add stores a + b into m (which may alias a or b).
+// Add stores a + b into m. m may alias a or b exactly, never partially.
 func (m *Dense) Add(a, b *Dense) {
 	a.mustSameShape(b, "Add")
 	m.mustSameShape(a, "Add")
+	mustElementwiseAlias("Add", m, a)
+	mustElementwiseAlias("Add", m, b)
 	for i := range m.Data {
 		m.Data[i] = a.Data[i] + b.Data[i]
 	}
 }
 
-// Sub stores a - b into m (which may alias a or b).
+// Sub stores a - b into m. m may alias a or b exactly, never partially.
 func (m *Dense) Sub(a, b *Dense) {
 	a.mustSameShape(b, "Sub")
 	m.mustSameShape(a, "Sub")
+	mustElementwiseAlias("Sub", m, a)
+	mustElementwiseAlias("Sub", m, b)
 	for i := range m.Data {
 		m.Data[i] = a.Data[i] - b.Data[i]
 	}
 }
 
-// Scale stores s*a into m (which may alias a).
+// Scale stores s*a into m. m may alias a exactly, never partially.
 func (m *Dense) Scale(s float64, a *Dense) {
 	m.mustSameShape(a, "Scale")
+	mustElementwiseAlias("Scale", m, a)
 	for i := range m.Data {
 		m.Data[i] = s * a.Data[i]
 	}
 }
 
-// AddScaled accumulates m += s*a.
+// AddScaled accumulates m += s*a. m may alias a exactly, never
+// partially.
 func (m *Dense) AddScaled(s float64, a *Dense) {
 	m.mustSameShape(a, "AddScaled")
+	mustElementwiseAlias("AddScaled", m, a)
 	for i := range m.Data {
 		m.Data[i] += s * a.Data[i]
 	}
@@ -127,13 +145,26 @@ func (m *Dense) AddScaled(s float64, a *Dense) {
 
 // Mul computes a*b into a freshly allocated matrix.
 func Mul(a, b *Dense) *Dense {
+	out := New(a.Rows, b.Cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes a*b into dst, which must be a.Rows x b.Cols and must
+// not alias a or b.
+func MulInto(dst, a, b *Dense) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulInto destination %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	mustDisjoint("MulInto", dst, a)
+	mustDisjoint("MulInto", dst, b)
+	dst.Zero()
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
-		orow := out.Row(i)
+		orow := dst.Row(i)
 		for k, av := range arow {
 			if av == 0 {
 				continue
@@ -144,26 +175,36 @@ func Mul(a, b *Dense) *Dense {
 			}
 		}
 	}
-	return out
 }
 
 // Gram computes AᵀA, an a.Cols x a.Cols symmetric matrix.
 func Gram(a *Dense) *Dense { return CrossGram(a, a) }
 
+// GramInto computes AᵀA into dst, which must be a.Cols x a.Cols and
+// must not alias a.
+func GramInto(dst, a *Dense) { CrossGramInto(dst, a, a) }
+
 // CrossGram computes AᵀB. A and B must have the same number of rows;
 // the result is a.Cols x b.Cols. This is the row-wise product the paper
 // aggregates with an all-to-all reduction (Section IV-B3).
 func CrossGram(a, b *Dense) *Dense {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("mat: CrossGram row mismatch %d vs %d", a.Rows, b.Rows))
-	}
 	out := New(a.Cols, b.Cols)
-	AccumulateCrossGram(out, a, b)
+	CrossGramInto(out, a, b)
 	return out
 }
 
-// AccumulateCrossGram adds AᵀB into dst, which must be a.Cols x b.Cols.
-// It is the building block for partial Gram aggregation across workers.
+// CrossGramInto computes AᵀB into dst, which must be a.Cols x b.Cols
+// and must not alias a or b.
+func CrossGramInto(dst, a, b *Dense) {
+	dst.Zero()
+	AccumulateCrossGram(dst, a, b)
+}
+
+// AccumulateCrossGram adds AᵀB into dst, which must be a.Cols x b.Cols
+// and must not alias a or b (it scatters into dst rows while reading a
+// and b rows, so aliasing would fold partial results back into the
+// inputs). It is the building block for partial Gram aggregation across
+// workers.
 func AccumulateCrossGram(dst, a, b *Dense) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: AccumulateCrossGram row mismatch %d vs %d", a.Rows, b.Rows))
@@ -171,6 +212,8 @@ func AccumulateCrossGram(dst, a, b *Dense) {
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("mat: AccumulateCrossGram destination shape mismatch")
 	}
+	mustDisjoint("AccumulateCrossGram", dst, a)
+	mustDisjoint("AccumulateCrossGram", dst, b)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		brow := b.Row(i)
@@ -186,10 +229,13 @@ func AccumulateCrossGram(dst, a, b *Dense) {
 	}
 }
 
-// Hadamard stores the elementwise product a .* b into m.
+// Hadamard stores the elementwise product a .* b into m. m may alias a
+// or b exactly, never partially.
 func (m *Dense) Hadamard(a, b *Dense) {
 	a.mustSameShape(b, "Hadamard")
 	m.mustSameShape(a, "Hadamard")
+	mustElementwiseAlias("Hadamard", m, a)
+	mustElementwiseAlias("Hadamard", m, b)
 	for i := range m.Data {
 		m.Data[i] = a.Data[i] * b.Data[i]
 	}
@@ -201,11 +247,22 @@ func HadamardAll(ms ...*Dense) *Dense {
 	if len(ms) == 0 {
 		panic("mat: HadamardAll of nothing")
 	}
-	out := ms[0].Clone()
-	for _, m := range ms[1:] {
-		out.Hadamard(out, m)
-	}
+	out := New(ms[0].Rows, ms[0].Cols)
+	HadamardAllInto(out, ms...)
 	return out
+}
+
+// HadamardAllInto stores the elementwise product of all ms into dst.
+// dst may alias ms[0] exactly; it must not partially overlap any input.
+// It panics on an empty input.
+func HadamardAllInto(dst *Dense, ms ...*Dense) {
+	if len(ms) == 0 {
+		panic("mat: HadamardAll of nothing")
+	}
+	dst.CopyFrom(ms[0])
+	for _, m := range ms[1:] {
+		dst.Hadamard(dst, m)
+	}
 }
 
 // KhatriRao computes the column-wise Khatri-Rao product A ⊙ B: the
@@ -216,29 +273,53 @@ func KhatriRao(a, b *Dense) *Dense {
 		panic(fmt.Sprintf("mat: KhatriRao column mismatch %d vs %d", a.Cols, b.Cols))
 	}
 	out := New(a.Rows*b.Rows, a.Cols)
+	KhatriRaoInto(out, a, b)
+	return out
+}
+
+// KhatriRaoInto computes A ⊙ B into dst, which must be a.Rows*b.Rows by
+// the shared column count and must not alias a or b.
+func KhatriRaoInto(dst, a, b *Dense) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: KhatriRao column mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows*b.Rows || dst.Cols != a.Cols {
+		panic(fmt.Sprintf("mat: KhatriRaoInto destination %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows*b.Rows, a.Cols))
+	}
+	mustDisjoint("KhatriRaoInto", dst, a)
+	mustDisjoint("KhatriRaoInto", dst, b)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		for j := 0; j < b.Rows; j++ {
 			brow := b.Row(j)
-			orow := out.Row(i*b.Rows + j)
+			orow := dst.Row(i*b.Rows + j)
 			for c := range orow {
 				orow[c] = arow[c] * brow[c]
 			}
 		}
 	}
-	return out
 }
 
 // Transpose returns Aᵀ as a new matrix.
 func Transpose(a *Dense) *Dense {
 	out := New(a.Cols, a.Rows)
+	TransposeInto(out, a)
+	return out
+}
+
+// TransposeInto stores Aᵀ into dst, which must be a.Cols x a.Rows and
+// must not alias a.
+func TransposeInto(dst, a *Dense) {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic(fmt.Sprintf("mat: TransposeInto destination %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, a.Rows))
+	}
+	mustDisjoint("TransposeInto", dst, a)
 	for i := 0; i < a.Rows; i++ {
 		row := a.Row(i)
 		for j, v := range row {
-			out.Data[j*a.Rows+i] = v
+			dst.Data[j*a.Rows+i] = v
 		}
 	}
-	return out
 }
 
 // FrobeniusNorm returns ||A||_F.

@@ -17,11 +17,26 @@ var ErrSingular = errors.New("mat: matrix is singular")
 // positive definite A. Only the lower triangle of A is read. It returns
 // ErrNotSPD when a pivot is not strictly positive.
 func Cholesky(a *Dense) (*Dense, error) {
+	l := New(a.Rows, a.Rows)
+	if err := CholeskyInto(l, a); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// CholeskyInto factorises A = LLᵀ into l, which must be a.Rows x a.Rows
+// and must not alias a (later pivots re-read earlier columns of a). l
+// is fully overwritten, upper triangle zeroed.
+func CholeskyInto(l, a *Dense) error {
 	if a.Rows != a.Cols {
 		panic(fmt.Sprintf("mat: Cholesky of non-square %dx%d", a.Rows, a.Cols))
 	}
+	if l.Rows != a.Rows || l.Cols != a.Cols {
+		panic(fmt.Sprintf("mat: CholeskyInto destination %dx%d, want %dx%d", l.Rows, l.Cols, a.Rows, a.Cols))
+	}
+	mustDisjoint("CholeskyInto", l, a)
 	n := a.Rows
-	l := New(n, n)
+	l.Zero()
 	for j := 0; j < n; j++ {
 		d := a.At(j, j)
 		for k := 0; k < j; k++ {
@@ -29,7 +44,7 @@ func Cholesky(a *Dense) (*Dense, error) {
 			d -= v * v
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotSPD
+			return ErrNotSPD
 		}
 		ljj := math.Sqrt(d)
 		l.Set(j, j, ljj)
@@ -41,7 +56,7 @@ func Cholesky(a *Dense) (*Dense, error) {
 			l.Set(i, j, s/ljj)
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // choleskySolveInPlace solves LLᵀ x = b for each column of b, writing
@@ -89,16 +104,32 @@ func choleskySolveInPlace(l, b *Dense) {
 // SolveSPD solves A X = B for X where A is symmetric positive definite,
 // using Cholesky. B is not modified.
 func SolveSPD(a, b *Dense) (*Dense, error) {
+	x := New(b.Rows, b.Cols)
+	ws := NewWorkspace()
+	if err := SolveSPDInto(x, a, b, ws); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveSPDInto solves A X = B into dst, taking the Cholesky factor from
+// ws. dst must be b.Rows x b.Cols; it may alias b exactly (B is copied
+// into dst before the factor is applied) but must not alias a. ws is
+// released to its entry mark before returning.
+func SolveSPDInto(dst, a, b *Dense, ws *Workspace) error {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: SolveSPD dimension mismatch %dx%d \\ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	l, err := Cholesky(a)
-	if err != nil {
-		return nil, err
+	mustDisjoint("SolveSPDInto", dst, a)
+	mark := ws.Mark()
+	defer ws.Release(mark)
+	l := ws.Take(a.Rows, a.Cols)
+	if err := CholeskyInto(l, a); err != nil {
+		return err
 	}
-	x := b.Clone()
-	choleskySolveInPlace(l, x)
-	return x, nil
+	dst.CopyFrom(b)
+	choleskySolveInPlace(l, dst)
+	return nil
 }
 
 // SolveRightRidge computes M · D⁻¹, the ALS "numerator times inverse
@@ -108,9 +139,27 @@ func SolveSPD(a, b *Dense) (*Dense, error) {
 // ridge eps·trace(D)/R·I is added until the Cholesky succeeds, the
 // standard regularised-ALS fallback.
 func SolveRightRidge(m, d *Dense) *Dense {
+	out := New(m.Rows, m.Cols)
+	ws := NewWorkspace()
+	SolveRightRidgeInto(out, m, d, ws)
+	return out
+}
+
+// SolveRightRidgeInto computes M · D⁻¹ into dst with the same ridge
+// fallback as SolveRightRidge, taking all scratch (the regularised
+// copy of D, the Cholesky factor, and the transposed solve buffer) from
+// ws. dst must be m.Rows x m.Cols; it may alias m exactly (M is
+// transposed into scratch before dst is written) but must not alias d.
+// ws is released to its entry mark before returning.
+func SolveRightRidgeInto(dst, m, d *Dense, ws *Workspace) {
 	if d.Rows != d.Cols || m.Cols != d.Rows {
 		panic(fmt.Sprintf("mat: SolveRightRidge dimension mismatch %dx%d · inv(%dx%d)", m.Rows, m.Cols, d.Rows, d.Cols))
 	}
+	if dst.Rows != m.Rows || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("mat: SolveRightRidgeInto destination %dx%d, want %dx%d", dst.Rows, dst.Cols, m.Rows, m.Cols))
+	}
+	mustDisjoint("SolveRightRidgeInto", dst, d)
+	mustElementwiseAlias("SolveRightRidgeInto", dst, m)
 	n := d.Rows
 	tr := 0.0
 	for i := 0; i < n; i++ {
@@ -119,15 +168,21 @@ func SolveRightRidge(m, d *Dense) *Dense {
 	if tr == 0 {
 		tr = 1
 	}
-	work := d.Clone()
+	mark := ws.Mark()
+	defer ws.Release(mark)
+	work := ws.Take(n, n)
+	l := ws.Take(n, n)
+	xt := ws.Take(m.Cols, m.Rows)
+	work.CopyFrom(d)
 	ridge := 0.0
 	for attempt := 0; ; attempt++ {
-		l, err := Cholesky(work)
+		err := CholeskyInto(l, work)
 		if err == nil {
 			// Solve D Xᵀ = Mᵀ, i.e. X = M·D⁻¹ using D's symmetry.
-			xt := Transpose(m)
+			TransposeInto(xt, m)
 			choleskySolveInPlace(l, xt)
-			return Transpose(xt)
+			TransposeInto(dst, xt)
+			return
 		}
 		if attempt > 60 {
 			panic("mat: SolveRightRidge could not regularise matrix")
@@ -150,12 +205,32 @@ func SolveRightRidge(m, d *Dense) *Dense {
 // denominator term; SolveRightRidge is the numerically preferred path,
 // Inverse exists for parity and for tests.
 func Inverse(a *Dense) (*Dense, error) {
+	inv := New(a.Rows, a.Rows)
+	ws := NewWorkspace()
+	if err := InverseInto(inv, a, ws); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// InverseInto computes A⁻¹ into dst, taking the elimination scratch
+// from ws. dst must be a.Rows x a.Rows and must not alias a. ws is
+// released to its entry mark before returning.
+func InverseInto(dst, a *Dense, ws *Workspace) error {
 	if a.Rows != a.Cols {
 		panic(fmt.Sprintf("mat: Inverse of non-square %dx%d", a.Rows, a.Cols))
 	}
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic(fmt.Sprintf("mat: InverseInto destination %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, a.Cols))
+	}
+	mustDisjoint("InverseInto", dst, a)
 	n := a.Rows
-	work := a.Clone()
-	inv := Eye(n)
+	mark := ws.Mark()
+	defer ws.Release(mark)
+	work := ws.Take(n, n)
+	work.CopyFrom(a)
+	inv := dst
+	inv.SetIdentity()
 	for col := 0; col < n; col++ {
 		// Partial pivot: largest |value| in this column at or below the
 		// diagonal.
@@ -167,7 +242,7 @@ func Inverse(a *Dense) (*Dense, error) {
 			}
 		}
 		if best == 0 || math.IsNaN(best) {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if pivot != col {
 			swapRows(work, pivot, col)
@@ -188,7 +263,7 @@ func Inverse(a *Dense) (*Dense, error) {
 			axpyRow(inv, r, col, -f)
 		}
 	}
-	return inv, nil
+	return nil
 }
 
 func swapRows(m *Dense, a, b int) {

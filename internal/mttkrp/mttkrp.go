@@ -55,6 +55,21 @@ func Compute(t *tensor.Tensor, factors []*mat.Dense, mode int) *mat.Dense {
 // runtime does.
 func AccumulateInto(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, mode int) {
 	r := checkFactors(t, factors)
+	accumulateScratch(dst, t, factors, mode, make([]float64, r))
+}
+
+// AccumulateIntoWS is AccumulateInto with the per-entry product buffer
+// checked out of ws instead of allocated, for allocation-free steady
+// state. ws is released to its entry mark before returning.
+func AccumulateIntoWS(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, mode int, ws *mat.Workspace) {
+	r := checkFactors(t, factors)
+	mark := ws.Mark()
+	accumulateScratch(dst, t, factors, mode, ws.TakeVec(r))
+	ws.Release(mark)
+}
+
+func accumulateScratch(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, mode int, tmp []float64) {
+	r := len(tmp)
 	if mode < 0 || mode >= t.Order() {
 		panic(fmt.Sprintf("mttkrp: mode %d on order-%d tensor", mode, t.Order()))
 	}
@@ -62,7 +77,6 @@ func AccumulateInto(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, mode
 		panic(fmt.Sprintf("mttkrp: destination %dx%d, want %dx%d", dst.Rows, dst.Cols, t.Dims[mode], r))
 	}
 	n := t.Order()
-	tmp := make([]float64, r)
 	for e := 0; e < t.NNZ(); e++ {
 		base := e * n
 		v := t.Vals[e]
@@ -90,9 +104,21 @@ func AccumulateInto(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, mode
 // MTTKRP result instead (Section IV-B4); this direct form exists for
 // verification and centralized baselines.
 func InnerProduct(t *tensor.Tensor, factors []*mat.Dense) float64 {
+	return innerProductScratch(t, factors, make([]float64, checkFactors(t, factors)))
+}
+
+// InnerProductWS is InnerProduct with the per-entry product buffer
+// checked out of ws. ws is released to its entry mark before returning.
+func InnerProductWS(t *tensor.Tensor, factors []*mat.Dense, ws *mat.Workspace) float64 {
 	r := checkFactors(t, factors)
+	mark := ws.Mark()
+	total := innerProductScratch(t, factors, ws.TakeVec(r))
+	ws.Release(mark)
+	return total
+}
+
+func innerProductScratch(t *tensor.Tensor, factors []*mat.Dense, tmp []float64) float64 {
 	n := t.Order()
-	tmp := make([]float64, r)
 	total := 0.0
 	for e := 0; e < t.NNZ(); e++ {
 		base := e * n
@@ -164,12 +190,25 @@ func (v *ModeView) NumRows() int { return len(v.Rows) }
 // are written back once.
 func (v *ModeView) AccumulateInto(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense) {
 	r := checkFactors(t, factors)
+	v.accumulateScratch(dst, t, factors, make([]float64, r), make([]float64, r))
+}
+
+// AccumulateIntoWS is AccumulateInto with the tmp/acc buffers checked
+// out of ws instead of allocated. ws is released to its entry mark
+// before returning.
+func (v *ModeView) AccumulateIntoWS(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, ws *mat.Workspace) {
+	r := checkFactors(t, factors)
+	mark := ws.Mark()
+	v.accumulateScratch(dst, t, factors, ws.TakeVec(r), ws.TakeVec(r))
+	ws.Release(mark)
+}
+
+func (v *ModeView) accumulateScratch(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, tmp, acc []float64) {
+	r := len(tmp)
 	if dst.Rows != t.Dims[v.Mode] || dst.Cols != r {
 		panic(fmt.Sprintf("mttkrp: destination %dx%d, want %dx%d", dst.Rows, dst.Cols, t.Dims[v.Mode], r))
 	}
 	n := t.Order()
-	tmp := make([]float64, r)
-	acc := make([]float64, r)
 	for g := 0; g < len(v.Rows); g++ {
 		for c := range acc {
 			acc[c] = 0

@@ -53,13 +53,24 @@ func (o *Options) withDefaults(order int) (Options, error) {
 	return opts, nil
 }
 
-// Tracker carries the OnlineCP state between batches.
+// Tracker carries the OnlineCP state between batches, plus the
+// persistent scratch every Absorb reuses (the workspace, the current
+// Gram set, and the R×R fold-in buffers), so absorbing a batch
+// allocates only for the genuinely growing state.
 type Tracker struct {
 	opts    Options
 	dims    []int        // current mode sizes
 	factors []*mat.Dense // current factors; factors[StreamMode] grows
 	p       []*mat.Dense // accumulated P_n, n ≠ StreamMode
 	q       []*mat.Dense // accumulated Q_n, n ≠ StreamMode
+
+	ws       *mat.Workspace
+	factorsG []*mat.Dense // per-batch factor view with the grown mode
+	curGrams []*mat.Dense // A_nᵀA_n at batch-absorb time
+	gramNew  *mat.Dense   // c_newᵀ c_new
+	dq       *mat.Dense   // per-mode Q_n increment
+	gk       *mat.Dense   // Gram scratch for the dq Hadamard chain
+	denom    *mat.Dense   // Hadamard-chain denominator scratch
 }
 
 // ErrMultiAspect reports a batch that grows a non-streaming mode — the
@@ -77,6 +88,7 @@ func Init(x *tensor.Tensor, o Options) (*Tracker, error) {
 		return nil, fmt.Errorf("onlinecp: empty initial tensor")
 	}
 	n := x.Order()
+	r := opts.Rank
 	src := xrand.New(opts.Seed)
 	factors := make([]*mat.Dense, n)
 	for m, d := range x.Dims {
@@ -86,26 +98,47 @@ func Init(x *tensor.Tensor, o Options) (*Tracker, error) {
 	for m := range factors {
 		grams[m] = mat.Gram(factors[m])
 	}
+	// The initial ALS runs entirely in place: persistent MTTKRP buffers,
+	// a shared denominator, and workspace-backed solves.
+	ws := mat.NewWorkspace()
+	mbuf := make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		mbuf[m] = mat.New(x.Dims[m], r)
+	}
+	denom := mat.New(r, r)
 	for it := 0; it < opts.InitIters; it++ {
 		for m := 0; m < n; m++ {
-			M := mttkrp.Compute(x, factors, m)
-			factors[m] = mat.SolveRightRidge(M, hadamardExcept(grams, m, opts.Rank))
-			grams[m] = mat.Gram(factors[m])
+			M := mbuf[m]
+			M.Zero()
+			mttkrp.AccumulateIntoWS(M, x, factors, m, ws)
+			hadamardExceptInto(denom, grams, m)
+			mat.SolveRightRidgeInto(factors[m], M, denom, ws)
+			mat.GramInto(grams[m], factors[m])
 		}
 	}
 	tr := &Tracker{
-		opts:    opts,
-		dims:    append([]int(nil), x.Dims...),
-		factors: factors,
-		p:       make([]*mat.Dense, n),
-		q:       make([]*mat.Dense, n),
+		opts:     opts,
+		dims:     append([]int(nil), x.Dims...),
+		factors:  factors,
+		p:        make([]*mat.Dense, n),
+		q:        make([]*mat.Dense, n),
+		ws:       ws,
+		factorsG: make([]*mat.Dense, n),
+		curGrams: make([]*mat.Dense, n),
+		gramNew:  mat.New(r, r),
+		dq:       mat.New(r, r),
+		gk:       mat.New(r, r),
+		denom:    denom,
 	}
 	for m := 0; m < n; m++ {
+		tr.curGrams[m] = mat.New(r, r)
 		if m == opts.StreamMode {
 			continue
 		}
 		tr.p[m] = mttkrp.Compute(x, factors, m)
-		tr.q[m] = hadamardExcept(grams, m, opts.Rank)
+		q := mat.New(r, r)
+		hadamardExceptInto(q, grams, m)
+		tr.q[m] = q
 	}
 	return tr, nil
 }
@@ -149,21 +182,24 @@ func (t *Tracker) Absorb(batch *tensor.Tensor) error {
 	r := t.opts.Rank
 	// 1. Solve the new streaming-mode rows against the current
 	// non-streaming factors: their normal equations involve only ΔX.
+	// Only the grown factor itself is a fresh allocation; the MTTKRP and
+	// solver scratch come from the tracker's workspace.
 	grown := mat.StackRows(t.factors[s], mat.New(newRows, r))
-	factorsG := make([]*mat.Dense, n)
+	factorsG := t.factorsG
 	copy(factorsG, t.factors)
 	factorsG[s] = grown
-	curGrams := make([]*mat.Dense, n)
 	for m := 0; m < n; m++ {
-		curGrams[m] = mat.Gram(t.factors[m])
+		mat.GramInto(t.curGrams[m], t.factors[m])
 	}
-	Ms := mttkrp.Compute(batch, factorsG, s)
-	newBlock := mat.SolveRightRidge(Ms.SliceRows(t.dims[s], batch.Dims[s]), hadamardExcept(curGrams, s, r))
-	for i := 0; i < newRows; i++ {
-		copy(grown.Row(t.dims[s]+i), newBlock.Row(i))
-	}
+	mark := t.ws.Mark()
+	Ms := t.ws.Take(batch.Dims[s], r)
+	mttkrp.AccumulateIntoWS(Ms, batch, factorsG, s, t.ws)
+	hadamardExceptInto(t.denom, t.curGrams, s)
+	newBlock := grown.SliceRows(t.dims[s], batch.Dims[s])
+	mat.SolveRightRidgeInto(newBlock, Ms.SliceRows(t.dims[s], batch.Dims[s]), t.denom, t.ws)
+	t.ws.Release(mark)
 	t.factors[s] = grown
-	gramNew := mat.Gram(newBlock) // c_newᵀ c_new
+	mat.GramInto(t.gramNew, newBlock) // c_newᵀ c_new
 
 	// 2. Fold the batch into each P_n/Q_n pair, then refresh A_n.
 	// KR uses the just-solved streaming rows plus the factors as they
@@ -174,38 +210,42 @@ func (t *Tracker) Absorb(batch *tensor.Tensor) error {
 		if m == s {
 			continue
 		}
-		mttkrp.AccumulateInto(t.p[m], batch, factorsG, m)
-		dq := mat.New(r, r)
-		dq.CopyFrom(gramNew)
+		mttkrp.AccumulateIntoWS(t.p[m], batch, factorsG, m, t.ws)
+		t.dq.CopyFrom(t.gramNew)
 		for k := 0; k < n; k++ {
 			if k == m || k == s {
 				continue
 			}
-			dq.Hadamard(dq, mat.Gram(factorsG[k]))
+			mat.GramInto(t.gk, factorsG[k])
+			t.dq.Hadamard(t.dq, t.gk)
 		}
-		t.q[m].Add(t.q[m], dq)
-		newFactor := mat.SolveRightRidge(t.p[m], t.q[m])
-		t.factors[m] = newFactor
-		factorsG[m] = newFactor
+		t.q[m].Add(t.q[m], t.dq)
+		// In-place refresh: the solve reads only P_n and Q_n, and
+		// factorsG[m] already aliases t.factors[m], so later modes see
+		// the new values exactly as the sequential algorithm requires.
+		mat.SolveRightRidgeInto(t.factors[m], t.p[m], t.q[m], t.ws)
 	}
 	t.dims[s] = batch.Dims[s]
 	return nil
 }
 
-func hadamardExcept(grams []*mat.Dense, mode, r int) *mat.Dense {
-	var out *mat.Dense
+// hadamardExceptInto stores ∗_{k≠mode} grams[k] into dst, or the
+// identity when there are no other modes. dst must not be one of the
+// grams.
+func hadamardExceptInto(dst *mat.Dense, grams []*mat.Dense, mode int) {
+	first := true
 	for k, g := range grams {
 		if k == mode {
 			continue
 		}
-		if out == nil {
-			out = g.Clone()
+		if first {
+			dst.CopyFrom(g)
+			first = false
 		} else {
-			out.Hadamard(out, g)
+			dst.Hadamard(dst, g)
 		}
 	}
-	if out == nil {
-		out = mat.Eye(r)
+	if first {
+		dst.SetIdentity()
 	}
-	return out
 }
