@@ -12,7 +12,7 @@ NUMERIC_PKGS = ./internal/mat/... ./internal/mttkrp/... ./internal/cp/... \
 	./internal/dtd/... ./internal/dmsmg/... ./internal/completion/... \
 	./internal/onlinecp/...
 
-.PHONY: all build test vet race check bench bench-paper clean
+.PHONY: all build test vet race check bench bench-paper profile clean
 
 all: check
 
@@ -31,7 +31,7 @@ test: build
 # kill-and-resume) and the in-place kernel/aliasing tests must all pass
 # with -race.
 race:
-	$(GO) test -race $(CLUSTER_PKGS) $(NUMERIC_PKGS)
+	$(GO) test -race $(CLUSTER_PKGS) $(NUMERIC_PKGS) ./internal/obs/...
 
 check: vet test race
 
@@ -42,9 +42,17 @@ bench:
 		./internal/mat/... ./internal/mttkrp/... ./internal/core/... \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernels.json
 
-# End-to-end paper-scale benchmark harness (scaling tables).
+# End-to-end paper-scale benchmark harness: the streaming benchmark
+# with the tracer's per-phase medians, captured as JSON.
 bench-paper:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/bench/...
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/bench/... \
+		| $(GO) run ./cmd/benchjson -o BENCH_stream.json
+
+# CPU and heap profiles of the distributed step on the in-process
+# cluster; inspect with `$(GO) tool pprof cpu.prof`.
+profile:
+	$(GO) test -bench=BenchmarkStepLocal -benchtime=5x -run '^$$' \
+		-cpuprofile cpu.prof -memprofile mem.prof ./internal/core/
 
 clean:
 	$(GO) clean ./...

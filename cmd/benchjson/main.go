@@ -1,8 +1,15 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON file, echoing the original output through to
 // stdout so the run stays human-readable. `make bench` pipes the kernel
-// benchmarks through it to produce BENCH_kernels.json, the artefact
-// tracked across PRs for performance regressions.
+// benchmarks through it to produce BENCH_kernels.json and `make
+// bench-paper` the streaming suite through it to produce
+// BENCH_stream.json — the artefacts tracked across PRs for performance
+// regressions.
+//
+// A benchmark line is the name, the iteration count, then (value, unit)
+// pairs. The standard units land in dedicated fields; custom metrics
+// reported with b.ReportMetric (e.g. mttkrp_p50_us) are collected in
+// the extra map.
 package main
 
 import (
@@ -11,22 +18,56 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
 	"strconv"
 	"strings"
 )
 
 // Row is one benchmark result line.
 type Row struct {
-	Package     string  `json:"package"`
-	Name        string  `json:"name"`
-	Iters       int64   `json:"iters"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Package     string             `json:"package"`
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// parseBenchLine decodes one `go test -bench` result line, generically:
+// name, iteration count, then alternating value/unit fields.
+func parseBenchLine(line, pkg string) (Row, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Row{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Row{}, false
+	}
+	row := Row{Package: pkg, Name: fields[0], Iters: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Row{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			row.NsPerOp = v
+		case "B/op":
+			b := int64(v)
+			row.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(v)
+			row.AllocsPerOp = &a
+		default:
+			if row.Extra == nil {
+				row.Extra = map[string]float64{}
+			}
+			row.Extra[unit] = v
+		}
+	}
+	return row, true
+}
 
 func main() {
 	out := flag.String("o", "BENCH_kernels.json", "output JSON path")
@@ -43,30 +84,9 @@ func main() {
 			pkg = strings.TrimSpace(rest)
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
+		if row, ok := parseBenchLine(line, pkg); ok {
+			rows = append(rows, row)
 		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			continue
-		}
-		ns, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			continue
-		}
-		row := Row{Package: pkg, Name: m[1], Iters: iters, NsPerOp: ns}
-		if m[4] != "" {
-			if v, err := strconv.ParseInt(m[4], 10, 64); err == nil {
-				row.BytesPerOp = &v
-			}
-		}
-		if m[5] != "" {
-			if v, err := strconv.ParseInt(m[5], 10, 64); err == nil {
-				row.AllocsPerOp = &v
-			}
-		}
-		rows = append(rows, row)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)

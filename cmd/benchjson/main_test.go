@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	row, ok := parseBenchLine("BenchmarkStepLocal-8   \t     12\t  98765 ns/op\t 2048 B/op\t      31 allocs/op", "dismastd/internal/core")
+	if !ok {
+		t.Fatal("standard line not parsed")
+	}
+	if row.Name != "BenchmarkStepLocal-8" || row.Iters != 12 || row.NsPerOp != 98765 {
+		t.Fatalf("parsed %+v", row)
+	}
+	if row.BytesPerOp == nil || *row.BytesPerOp != 2048 || row.AllocsPerOp == nil || *row.AllocsPerOp != 31 {
+		t.Fatalf("mem fields: %+v", row)
+	}
+	if row.Package != "dismastd/internal/core" {
+		t.Fatalf("package %q", row.Package)
+	}
+
+	row, ok = parseBenchLine("BenchmarkStreamPaper-8 1 5.1e+08 ns/op 42.5 mttkrp_p50_us 15 stream_iters", "p")
+	if !ok {
+		t.Fatal("custom-metric line not parsed")
+	}
+	if row.NsPerOp != 5.1e8 || row.Extra["mttkrp_p50_us"] != 42.5 || row.Extra["stream_iters"] != 15 {
+		t.Fatalf("custom metrics: %+v", row)
+	}
+
+	for _, bad := range []string{
+		"ok  \tdismastd/internal/core\t0.3s",
+		"PASS",
+		"BenchmarkBroken-8 notanint 12 ns/op",
+		"goos: linux",
+	} {
+		if _, ok := parseBenchLine(bad, ""); ok {
+			t.Fatalf("parsed non-benchmark line %q", bad)
+		}
+	}
+}

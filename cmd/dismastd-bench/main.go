@@ -36,7 +36,8 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("dismastd-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment: all, table3, table4, fig5, fig6, fig7, comm, fit")
+	exp := fs.String("exp", "all", "experiment: all, table3, table4, fig5, fig6, fig7, comm, fit, phases")
+	jsonOut := fs.String("json", "", "for -exp phases: also write the reports as JSON to this path")
 	nnz := fs.Int("nnz", 100000, "target nnz per generated dataset")
 	rank := fs.Int("rank", 10, "CP rank R (paper: 10)")
 	iters := fs.Int("iters", 10, "max ALS sweeps (paper: 10)")
@@ -144,6 +145,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(stdout, bench.FormatFit(points))
+	}
+	if want("phases") {
+		ran = true
+		fmt.Fprintln(stdout, "== Phase breakdown: per-rank wall time by phase (observability extension) ==")
+		reports, err := bench.Phases(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, bench.FormatPhases(reports))
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := bench.WritePhasesJSON(f, reports); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "dismastd-bench: wrote %s\n", *jsonOut)
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)

@@ -31,6 +31,9 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -38,6 +41,7 @@ import (
 	"dismastd/internal/cluster"
 	"dismastd/internal/core"
 	"dismastd/internal/dtd"
+	"dismastd/internal/obs"
 	"dismastd/internal/partition"
 	"dismastd/internal/tensor"
 )
@@ -64,6 +68,7 @@ type workerConfig struct {
 	timeout       time.Duration
 	heartbeat     time.Duration
 	chaosKillStep int
+	debugAddr     string
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -87,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	timeout := fs.Duration("timeout", 2*time.Minute, "join and receive timeout")
 	heartbeat := fs.Duration("heartbeat", 0, "peer failure-detection probe interval (0 = off)")
 	chaosKill := fs.Int("chaos-kill-step", -1, "chaos testing: close the node and exit right before this step")
+	debugAddr := fs.String("debug-addr", "", "worker mode: serve pprof, metrics, and trace debug endpoints on this address (no auth — bind loopback only; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,6 +136,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			checkpoint: *checkpoint, resume: *resume,
 			rank: *rank, iters: *iters, mu: *mu, method: pm, seed: *seed,
 			timeout: *timeout, heartbeat: *heartbeat, chaosKillStep: *chaosKill,
+			debugAddr: *debugAddr,
 		}
 		return runWorker(stdout, stderr, cfg)
 	default:
@@ -138,6 +145,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
+	logger := obs.NewLogger(stderr, slog.LevelInfo)
 	snaps := make([]*tensor.Tensor, len(cfg.tensors))
 	for i, path := range cfg.tensors {
 		snap, err := loadTensor(path)
@@ -163,7 +171,7 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 		if st != nil {
 			prev = st
 			start = step + 1
-			fmt.Fprintf(stderr, "worker: resuming after step %d from %s\n", step, checkpointPath(cfg.checkpoint, step))
+			logger.Info("resuming after checkpoint", "step", step, "path", checkpointPath(cfg.checkpoint, step))
 		}
 	}
 
@@ -173,20 +181,31 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 	}
 	defer node.Close()
 	node.SetRecvTimeout(cfg.timeout)
+	node.SetLogger(logger)
+	log := logger.With("rank", node.Rank(), "size", node.Size())
 	if cfg.heartbeat > 0 {
 		if err := node.StartHeartbeat(cfg.heartbeat, 3); err != nil {
 			return err
 		}
 	}
+	if cfg.debugAddr != "" {
+		srv, addr, err := startDebugServer(cfg.debugAddr, node.Obs())
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer srv.Close()
+		log.Info("debug endpoints serving", "addr", addr.String())
+	}
 
 	for step := start; step < len(snaps); step++ {
+		node.Obs().Trace.SetSnapshot(step)
 		if step == cfg.chaosKillStep {
 			node.Close()
 			return fmt.Errorf("chaos: rank %d killed before step %d", node.Rank(), step)
 		}
 		job, err := core.NewStepJob(prev, snaps[step], core.Options{
 			Rank: cfg.rank, MaxIters: cfg.iters, Mu: cfg.mu, Seed: cfg.seed,
-			Workers: node.Size(), Method: cfg.method,
+			Workers: node.Size(), Method: cfg.method, Obs: node.Obs(),
 		})
 		if err != nil {
 			return err
@@ -228,10 +247,11 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 			if err := writeCheckpoint(cfg.checkpoint, step, prev); err != nil {
 				return fmt.Errorf("checkpoint step %d: %w", step, err)
 			}
-			fmt.Fprintf(stderr, "worker: checkpoint step %d written to %s\n", step, checkpointPath(cfg.checkpoint, step))
+			log.Info("checkpoint written", "step", step, "path", checkpointPath(cfg.checkpoint, step))
 		}
-		fmt.Fprintf(stderr, "worker: rank %d/%d step %d done, sent %dB in %d msgs, wall %s\n",
-			node.Rank(), node.Size(), step, stats.Ranks[0].BytesSent, stats.Ranks[0].MsgsSent, stats.Wall.Round(time.Millisecond))
+		log.Info("step done", "step", step,
+			"bytes_sent", stats.Ranks[0].BytesSent, "msgs_sent", stats.Ranks[0].MsgsSent,
+			"wall", stats.Wall.Round(time.Millisecond))
 	}
 
 	if node.Rank() != 0 {
@@ -246,9 +266,23 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 		if err := dtd.WriteState(f, prev); err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "worker: state written to %s\n", cfg.outPath)
+		log.Info("state written", "path", cfg.outPath)
 	}
 	return nil
+}
+
+// startDebugServer serves the node's observability debug endpoints
+// (net/http/pprof, /debug/metrics, /debug/phases, /debug/trace) on addr
+// until the returned server is closed. The endpoints carry no
+// authentication; addr should stay on loopback or a trusted network.
+func startDebugServer(addr string, o *obs.Obs) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: obs.Handler(o)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
 }
 
 // checkpointPath names the checkpoint for one completed step.

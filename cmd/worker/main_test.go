@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,6 +14,7 @@ import (
 	"dismastd/internal/cluster"
 	"dismastd/internal/dtd"
 	"dismastd/internal/mat"
+	"dismastd/internal/obs"
 )
 
 // TestTwoStepTCPCluster drives the full worker flow in-process: a
@@ -242,4 +245,52 @@ func readState(t *testing.T, path string) *dtd.State {
 		t.Fatal(err)
 	}
 	return st
+}
+
+// TestDebugServerServesProfilesAndMetrics pins the -debug-addr surface:
+// a live HTTP listener must serve the metrics registry as JSON, the
+// span ring as JSONL, and a working CPU profile from net/http/pprof —
+// the same endpoints a worker process exposes.
+func TestDebugServerServesProfilesAndMetrics(t *testing.T) {
+	o := obs.New()
+	o.Counter("mttkrp.rows").Add(42)
+	sp := o.Span("mode0/mttkrp")
+	sp.End()
+
+	srv, addr, err := startDebugServer("127.0.0.1:0", o)
+	if err != nil {
+		t.Skipf("loopback networking unavailable: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + addr.String()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	if body := get("/debug/metrics"); !strings.Contains(body, `"mttkrp.rows": 42`) {
+		t.Fatalf("metrics missing counter: %s", body)
+	}
+	if body := get("/debug/trace"); !strings.Contains(body, `"mode0/mttkrp"`) {
+		t.Fatalf("trace missing span: %s", body)
+	}
+	// A short CPU profile must come back as a valid (gzipped) pprof
+	// payload — the acceptance check `go tool pprof <addr>` depends on.
+	prof := get("/debug/pprof/profile?seconds=1")
+	if len(prof) == 0 || prof[0] != 0x1f {
+		t.Fatalf("profile response does not look like gzipped pprof (%d bytes)", len(prof))
+	}
 }

@@ -136,6 +136,22 @@ func TestChaosTCPTransientCutRecoversExactFactors(t *testing.T) {
 			t.Fatalf("mode %d factors diverge by %g after reconnection", m, d)
 		}
 	}
+	// The recovery is visible in the injecting node's registry: the cut
+	// write evicted the connection, the redial was a reconnect, and the
+	// injected fault was counted by kind.
+	for _, n := range nodes {
+		if n.Rank() != 1 {
+			continue
+		}
+		m := n.Obs().Reg.Snapshot().Counters
+		if m["transport.faults.cut"] != 1 {
+			t.Fatalf("faults.cut = %d, want 1", m["transport.faults.cut"])
+		}
+		if m["transport.evictions"] != 1 || m["transport.reconnects"] != 1 {
+			t.Fatalf("evictions = %d, reconnects = %d, want 1 each",
+				m["transport.evictions"], m["transport.reconnects"])
+		}
+	}
 }
 
 func TestChaosTCPKilledRankSurfacesPeerDown(t *testing.T) {
@@ -188,5 +204,19 @@ func TestChaosTCPKilledRankSurfacesPeerDown(t *testing.T) {
 	}
 	if elapsed > 10*time.Second {
 		t.Fatalf("detection took %v", elapsed)
+	}
+	// Every survivor's failure detector recorded the missed peer (one
+	// heartbeat.misses increment per declared-down rank) and was probing.
+	for _, n := range nodes {
+		if n.Rank() == 2 {
+			continue
+		}
+		m := n.Obs().Reg.Snapshot().Counters
+		if m["transport.heartbeat.misses"] != 1 {
+			t.Fatalf("rank %d heartbeat.misses = %d, want 1", n.Rank(), m["transport.heartbeat.misses"])
+		}
+		if m["transport.heartbeat.probes"] == 0 {
+			t.Fatalf("rank %d sent no probes", n.Rank())
+		}
 	}
 }

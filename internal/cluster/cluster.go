@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dismastd/internal/obs"
 )
 
 // Metrics counts one rank's traffic. Counters are atomic because a
@@ -31,12 +34,27 @@ func (m *Metrics) snapshot() Metrics {
 	}
 }
 
+// sub returns m − base, counter-wise. A long-lived TCPNode's counters
+// span every Run; subtracting the Run-entry baseline scopes them to one
+// invocation.
+func (m Metrics) sub(base Metrics) Metrics {
+	return Metrics{
+		BytesSent: m.BytesSent - base.BytesSent,
+		BytesRecv: m.BytesRecv - base.BytesRecv,
+		MsgsSent:  m.MsgsSent - base.MsgsSent,
+		MsgsRecv:  m.MsgsRecv - base.MsgsRecv,
+	}
+}
+
 // RankStats is one rank's contribution to a run: traffic plus the work
 // units the worker recorded with AddWork (the simtime cost model's
-// compute input).
+// compute input) and, when the transport carries instrumentation, the
+// rank's observability snapshot for the run (metric deltas, per-phase
+// timings, retained spans).
 type RankStats struct {
 	Metrics
 	Work float64
+	Obs  *obs.RankSnapshot
 }
 
 // RunStats aggregates a completed run.
@@ -96,6 +114,8 @@ type Worker struct {
 	mbox        *mailbox
 	sendFn      func(to int, msg Message) error
 	metrics     *Metrics
+	base        Metrics  // metrics at Run entry; snapshots report the delta
+	obs         *obs.Obs // per-rank (Local) or per-node (TCP) instruments; may be nil
 	recvTimeout time.Duration
 	coll        uint64 // collective sequence number; see collectives.go
 	tagEpoch    string // namespaces tags across repeated TCPNode.Run calls
@@ -117,9 +137,15 @@ func (w *Worker) AddWork(units float64) { w.work += units }
 // every worker so matching sides derive the same tag.
 func (w *Worker) UniqueTag(prefix string) string { return w.nextTag(prefix) }
 
-// MetricsSnapshot returns the worker's traffic counters so far. Jobs
-// use it to separate algorithm traffic from one-time result collection.
-func (w *Worker) MetricsSnapshot() Metrics { return w.metrics.snapshot() }
+// MetricsSnapshot returns the worker's traffic counters accumulated
+// since its Run began (a delta for long-lived TCP nodes). Jobs use it
+// to separate algorithm traffic from one-time result collection.
+func (w *Worker) MetricsSnapshot() Metrics { return w.metrics.snapshot().sub(w.base) }
+
+// Obs returns the worker's observability bundle — the handle algorithm
+// code resolves counters and spans through. May return nil (no
+// instrumentation); all obs handles are nil-safe.
+func (w *Worker) Obs() *obs.Obs { return w.obs }
 
 // Send delivers payload to rank `to` under the given tag. Sending to
 // yourself is allowed and loops back through the mailbox.
@@ -159,6 +185,36 @@ type Local struct {
 	recvTimeout time.Duration
 	sendHook    SendHook
 	fault       *FaultPlan
+	obs         *obs.Obs // cluster-level transport instruments (fault counters)
+	fc          faultCounters
+	logger      *slog.Logger
+}
+
+// faultCounters are the pre-resolved injection counters both transports
+// bump when a FaultPlan rule fires, indexed by op so chaos tests can
+// assert exactly which faults the transport observed.
+type faultCounters struct {
+	injected *obs.Counter
+	byOp     [4]*obs.Counter // FaultError, FaultDrop, FaultDelay, FaultCut
+}
+
+func newFaultCounters(o *obs.Obs) faultCounters {
+	return faultCounters{
+		injected: o.Counter("transport.faults.injected"),
+		byOp: [4]*obs.Counter{
+			o.Counter("transport.faults.error"),
+			o.Counter("transport.faults.drop"),
+			o.Counter("transport.faults.delay"),
+			o.Counter("transport.faults.cut"),
+		},
+	}
+}
+
+func (f faultCounters) note(op FaultOp) {
+	f.injected.Inc()
+	if int(op) >= 0 && int(op) < len(f.byOp) {
+		f.byOp[op].Inc()
+	}
 }
 
 // NewLocal returns an in-process cluster of the given size with a
@@ -167,7 +223,9 @@ func NewLocal(size int) *Local {
 	if size <= 0 {
 		panic(fmt.Sprintf("cluster: NewLocal(%d)", size))
 	}
-	return &Local{size: size, recvTimeout: 30 * time.Second}
+	c := &Local{size: size, recvTimeout: 30 * time.Second, obs: obs.New()}
+	c.fc = newFaultCounters(c.obs)
+	return c
 }
 
 // SetRecvTimeout overrides the receive timeout (zero disables it).
@@ -175,6 +233,16 @@ func (c *Local) SetRecvTimeout(d time.Duration) { c.recvTimeout = d }
 
 // SetSendHook installs a fault-injection hook applied to every send.
 func (c *Local) SetSendHook(h SendHook) { c.sendHook = h }
+
+// Obs returns the cluster-level observability bundle: transport events
+// that belong to the cluster rather than one rank (fault injections).
+// Per-rank instruments live on each run's Workers and surface through
+// RankStats.Obs.
+func (c *Local) Obs() *obs.Obs { return c.obs }
+
+// SetLogger installs the base logger cloned (with a rank attribute)
+// into every worker's bundle. Must be called before Run.
+func (c *Local) SetLogger(l *slog.Logger) { c.logger = l }
 
 // SetFaultPlan installs a deterministic fault schedule applied to every
 // send (after the hook, if both are set). FaultCut has no connection to
@@ -198,11 +266,17 @@ func (c *Local) Run(fn func(*Worker) error) (*RunStats, error) {
 	workers := make([]*Worker, c.size)
 	for i := range workers {
 		rank := i
+		ro := obs.New()
+		ro.Trace.SetRank(rank)
+		if c.logger != nil {
+			ro.Log = c.logger.With("rank", rank)
+		}
 		workers[i] = &Worker{
 			rank:        rank,
 			size:        c.size,
 			mbox:        mboxes[rank],
 			metrics:     metrics[rank],
+			obs:         ro,
 			recvTimeout: c.recvTimeout,
 			sendFn: func(to int, msg Message) error {
 				if c.sendHook != nil {
@@ -212,6 +286,7 @@ func (c *Local) Run(fn func(*Worker) error) (*RunStats, error) {
 				}
 				if c.fault != nil {
 					if inj := c.fault.decide(msg.From, to, msg.Tag); inj != nil {
+						c.fc.note(inj.op)
 						switch inj.op {
 						case FaultError:
 							return inj.err
@@ -252,7 +327,8 @@ func (c *Local) Run(fn func(*Worker) error) (*RunStats, error) {
 
 	stats := &RunStats{Wall: time.Since(start)}
 	for i, w := range workers {
-		stats.Ranks = append(stats.Ranks, RankStats{Metrics: metrics[i].snapshot(), Work: w.work})
+		snap := w.obs.Snapshot()
+		stats.Ranks = append(stats.Ranks, RankStats{Metrics: metrics[i].snapshot(), Work: w.work, Obs: &snap})
 	}
 	return stats, firstErr
 }

@@ -126,6 +126,8 @@ func (n *TCPNode) heartbeatLoop(hb *heartbeat) {
 		// Check liveness before probing: a dead peer must not let slow
 		// probe I/O (a hanging dial) push detection past the window.
 		for _, r := range hb.expire(n.rank) {
+			n.tc.hbMisses.Inc()
+			n.obs.Logger().Warn("peer declared down", "peer", r, "window", hb.window)
 			n.mbox.fail(&ErrPeerDown{Rank: r})
 		}
 		probe := Message{From: n.rank, Tag: heartbeatTag}

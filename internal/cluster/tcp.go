@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dismastd/internal/obs"
 	"dismastd/internal/xrand"
 )
 
@@ -246,6 +248,8 @@ type TCPNode struct {
 	ln          net.Listener
 	mbox        *mailbox
 	metrics     *Metrics
+	obs         *obs.Obs          // node-lifetime instruments (debug endpoint reads these live)
+	tc          transportCounters // pre-resolved handles for the send/dial/heartbeat paths
 	recvTimeout time.Duration
 	retry       RetryPolicy
 	jitter      jitterSource
@@ -265,11 +269,40 @@ type TCPNode struct {
 }
 
 // peerConn is the outbound link to one rank: nil conn means
-// disconnected (never dialed, or evicted after a write error).
+// disconnected (never dialed, or evicted after a write error). ever
+// distinguishes a first connect from a reconnect for the transport
+// counters.
 type peerConn struct {
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
+	ever bool
+}
+
+// transportCounters are the fault-tolerance instruments PR 1's
+// machinery reports through: every dial attempt and retry, every
+// connection evicted after a write error and every successful redial,
+// heartbeat probes and misses, and FaultPlan injections by kind.
+type transportCounters struct {
+	dialAttempts *obs.Counter // transport.dial.attempts
+	dialRetries  *obs.Counter // transport.dial.retries
+	evictions    *obs.Counter // transport.evictions
+	reconnects   *obs.Counter // transport.reconnects
+	hbProbes     *obs.Counter // transport.heartbeat.probes
+	hbMisses     *obs.Counter // transport.heartbeat.misses
+	faults       faultCounters
+}
+
+func newTransportCounters(o *obs.Obs) transportCounters {
+	return transportCounters{
+		dialAttempts: o.Counter("transport.dial.attempts"),
+		dialRetries:  o.Counter("transport.dial.retries"),
+		evictions:    o.Counter("transport.evictions"),
+		reconnects:   o.Counter("transport.reconnects"),
+		hbProbes:     o.Counter("transport.heartbeat.probes"),
+		hbMisses:     o.Counter("transport.heartbeat.misses"),
+		faults:       newFaultCounters(o),
+	}
 }
 
 // JoinTCP creates a node: it binds listenAddr (use "127.0.0.1:0" for an
@@ -347,11 +380,14 @@ func JoinTCPRetry(coordAddr, listenAddr string, timeout time.Duration, policy Re
 		ln:          ln,
 		mbox:        newMailbox(),
 		metrics:     &Metrics{},
+		obs:         obs.New(),
 		recvTimeout: 60 * time.Second,
 		retry:       policy,
 		conns:       make(map[int]*peerConn),
 		closed:      make(chan struct{}),
 	}
+	n.obs.Trace.SetRank(reply.Rank)
+	n.tc = newTransportCounters(n.obs)
 	n.jitter.src = xrand.New(seedFromString(ln.Addr().String()) + uint64(reply.Rank))
 	go n.acceptLoop()
 	return n, nil
@@ -377,6 +413,19 @@ func (n *TCPNode) SetSendHook(h SendHook) { n.sendHook = h }
 // SetFaultPlan installs a deterministic fault schedule applied to every
 // send. Must be called before Run.
 func (n *TCPNode) SetFaultPlan(p *FaultPlan) { n.fault = p }
+
+// Obs returns the node's observability bundle. It lives for the node's
+// lifetime — cmd/worker's -debug-addr endpoint serves it live — while
+// each Run reports its own delta in RankStats.Obs.
+func (n *TCPNode) Obs() *obs.Obs { return n.obs }
+
+// SetLogger installs the node's logger (rank attribute attached here)
+// for transport events: evictions, redials, peers declared down.
+func (n *TCPNode) SetLogger(l *slog.Logger) {
+	if l != nil {
+		n.obs.Log = l.With("rank", n.rank)
+	}
+}
 
 func (n *TCPNode) acceptLoop() {
 	for {
@@ -433,6 +482,7 @@ func (n *TCPNode) dialPeer(to int) (net.Conn, error) {
 	var lastErr error
 	for attempt := 0; attempt < n.retry.Attempts; attempt++ {
 		if attempt > 0 {
+			n.tc.dialRetries.Inc()
 			t := time.NewTimer(n.jitter.backoff(n.retry, attempt-1))
 			select {
 			case <-t.C:
@@ -441,6 +491,7 @@ func (n *TCPNode) dialPeer(to int) (net.Conn, error) {
 				return nil, ErrClosed
 			}
 		}
+		n.tc.dialAttempts.Inc()
 		conn, err := net.DialTimeout("tcp", n.addrs[to], n.retry.DialTimeout)
 		if err == nil {
 			return conn, nil
@@ -462,10 +513,17 @@ func (n *TCPNode) encodeTo(to int, msg *Message) error {
 			return err
 		}
 		pc.conn, pc.enc = conn, gob.NewEncoder(conn)
+		if pc.ever {
+			n.tc.reconnects.Inc()
+			n.obs.Logger().Info("reconnected to peer", "peer", to)
+		}
+		pc.ever = true
 	}
 	if err := pc.enc.Encode(msg); err != nil {
 		pc.conn.Close()
 		pc.conn, pc.enc = nil, nil
+		n.tc.evictions.Inc()
+		n.obs.Logger().Warn("peer connection broken, evicting", "peer", to, "err", err)
 		return err
 	}
 	return nil
@@ -487,6 +545,7 @@ func (n *TCPNode) cutConn(to int) {
 // reconnect cycles — detection is driven by inbound silence, not by
 // probe send errors.
 func (n *TCPNode) sendProbe(to int, msg *Message) {
+	n.tc.hbProbes.Inc()
 	pc := n.slot(to)
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
@@ -496,10 +555,15 @@ func (n *TCPNode) sendProbe(to int, msg *Message) {
 			return
 		}
 		pc.conn, pc.enc = conn, gob.NewEncoder(conn)
+		if pc.ever {
+			n.tc.reconnects.Inc()
+		}
+		pc.ever = true
 	}
 	if err := pc.enc.Encode(msg); err != nil {
 		pc.conn.Close()
 		pc.conn, pc.enc = nil, nil
+		n.tc.evictions.Inc()
 	}
 }
 
@@ -513,6 +577,7 @@ func (n *TCPNode) send(to int, msg Message) error {
 	}
 	if n.fault != nil {
 		if inj := n.fault.decide(msg.From, to, msg.Tag); inj != nil {
+			n.tc.faults.note(inj.op)
 			switch inj.op {
 			case FaultError:
 				return inj.err
@@ -559,11 +624,18 @@ func (n *TCPNode) send(to int, msg Message) error {
 // the same sequence of Run calls.
 func (n *TCPNode) Run(fn func(*Worker) error) (*RunStats, error) {
 	epoch := n.runs.Add(1) - 1
+	// The node's counters span its lifetime; baselines taken here scope
+	// the reported stats to this Run so back-to-back invocations do not
+	// bleed into each other.
+	base := n.metrics.snapshot()
+	obsBase := n.obs.Baseline()
 	w := &Worker{
 		rank:        n.rank,
 		size:        n.size,
 		mbox:        n.mbox,
 		metrics:     n.metrics,
+		base:        base,
+		obs:         n.obs,
 		recvTimeout: n.recvTimeout,
 		sendFn:      n.send,
 	}
@@ -572,9 +644,10 @@ func (n *TCPNode) Run(fn func(*Worker) error) (*RunStats, error) {
 	}
 	start := time.Now()
 	err := fn(w)
+	snap := n.obs.SnapshotSince(obsBase)
 	stats := &RunStats{
 		Wall:  time.Since(start),
-		Ranks: []RankStats{{Metrics: n.metrics.snapshot(), Work: w.work}},
+		Ranks: []RankStats{{Metrics: n.metrics.snapshot().sub(base), Work: w.work, Obs: &snap}},
 	}
 	return stats, err
 }

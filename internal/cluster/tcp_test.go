@@ -215,6 +215,68 @@ func TestTCPReconnectAfterCut(t *testing.T) {
 	if plan.FiredOp(FaultCut) != 1 {
 		t.Fatalf("cuts fired = %d", plan.FiredOp(FaultCut))
 	}
+	// The fault-tolerance machinery reports through the node's registry:
+	// the cut write fails (one eviction), the redial succeeds inside the
+	// same Send (one reconnect), and the injection itself is counted.
+	var cutter *TCPNode
+	for _, n := range nodes {
+		if n.Rank() == 0 {
+			cutter = n
+		}
+	}
+	m := cutter.Obs().Reg.Snapshot().Counters
+	if m["transport.evictions"] != 1 {
+		t.Fatalf("evictions = %d, want 1", m["transport.evictions"])
+	}
+	if m["transport.reconnects"] != 1 {
+		t.Fatalf("reconnects = %d, want 1", m["transport.reconnects"])
+	}
+	if m["transport.faults.cut"] != 1 || m["transport.faults.injected"] != 1 {
+		t.Fatalf("fault counters = %v", m)
+	}
+	if m["transport.dial.attempts"] < 2 {
+		t.Fatalf("dial attempts = %d, want >= 2 (initial dial + redial)", m["transport.dial.attempts"])
+	}
+}
+
+func TestTCPRunMetricsAreDeltas(t *testing.T) {
+	// Regression: RunStats from repeated TCPNode.Run invocations used to
+	// report traffic since node creation. Two identical back-to-back
+	// phases must each report the same (disjoint) counts.
+	nodes := startTCPCluster(t, 2)
+	phase := func(w *Worker) error {
+		peer := 1 - w.Rank()
+		if err := w.Send(peer, "blob", make([]byte, 500)); err != nil {
+			return err
+		}
+		if _, err := w.Recv(peer, "blob"); err != nil {
+			return err
+		}
+		_, err := w.ReduceScalarSum(1)
+		return err
+	}
+	first := runTCP(t, nodes, phase)
+	second := runTCP(t, nodes, phase)
+	for i := range nodes {
+		a, b := first[i].Ranks[0].Metrics, second[i].Ranks[0].Metrics
+		if a.MsgsSent == 0 || a.BytesSent == 0 {
+			t.Fatalf("node %d first run reported no traffic: %+v", i, a)
+		}
+		// Message counts must match exactly; byte counts differ by the
+		// few bytes of the per-Run tag epoch, so allow that jitter while
+		// rejecting anything close to cumulative (2x) totals.
+		if a.MsgsSent != b.MsgsSent || a.MsgsRecv != b.MsgsRecv {
+			t.Fatalf("node %d runs not disjoint: first %+v, second %+v", i, a, b)
+		}
+		if diff := b.BytesSent - a.BytesSent; diff < -16 || diff > 16 {
+			t.Fatalf("node %d second run bytes cumulative: first %+v, second %+v", i, a, b)
+		}
+		// The Worker-level snapshot jobs use for algorithm-only traffic
+		// must be Run-scoped on the same baseline.
+		if o := second[i].Ranks[0].Obs; o == nil {
+			t.Fatalf("node %d missing obs snapshot", i)
+		}
+	}
 }
 
 func TestTCPSendHook(t *testing.T) {

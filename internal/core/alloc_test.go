@@ -43,16 +43,28 @@ func TestWorkerComputePathAllocFree(t *testing.T) {
 			st.gramPartials(m)
 			st.applyGramSums(m, st.batch)
 		}
+		// The pass runs fully instrumented — pre-resolved counters and
+		// spans included — pinning the observability layer's hot-path
+		// zero-allocation contract alongside the kernels'.
 		pass := func() {
 			for m := 0; m < n; m++ {
+				sp := st.obs.Span(st.names[m].mttkrp)
 				st.mttkrpMode(m)
+				sp.End()
+				sp = st.obs.Span(st.names[m].solve)
 				st.denominators(m)
 				st.updateOwnedRows(m)
+				sp.End()
+				sp = st.obs.Span(st.names[m].allreduce)
 				st.gramPartials(m)
 				st.applyGramSums(m, st.batch)
+				sp.End()
 			}
+			sp := st.obs.Span("loss")
 			inner := st.lossLocalInner()
-			if st.lossFinish(inner) < 0 {
+			done := st.lossFinish(inner)
+			sp.End()
+			if done < 0 {
 				t.Error("negative loss")
 			}
 		}

@@ -67,6 +67,14 @@ func TestChaosLocalSendFaultMidSweep(t *testing.T) {
 	if plan.FiredOp(cluster.FaultError) == 0 {
 		t.Fatal("fault plan never fired")
 	}
+	// The transport's injection counters mirror the plan's accounting.
+	m := cl.Obs().Reg.Snapshot().Counters
+	if m["transport.faults.injected"] != int64(plan.Fired()) {
+		t.Fatalf("faults.injected = %d, plan fired %d", m["transport.faults.injected"], plan.Fired())
+	}
+	if m["transport.faults.error"] != int64(plan.FiredOp(cluster.FaultError)) {
+		t.Fatalf("faults.error = %d, plan fired %d", m["transport.faults.error"], plan.FiredOp(cluster.FaultError))
+	}
 	if _, _, err := job.Result(); err == nil {
 		t.Fatal("failed job still produced a result")
 	}
@@ -98,6 +106,9 @@ func TestChaosLocalDropPoisonsViaTimeout(t *testing.T) {
 	}
 	if plan.FiredOp(cluster.FaultDrop) == 0 {
 		t.Fatal("drop rule never fired")
+	}
+	if m := cl.Obs().Reg.Snapshot().Counters; m["transport.faults.drop"] != int64(plan.FiredOp(cluster.FaultDrop)) {
+		t.Fatalf("faults.drop = %d, plan fired %d", m["transport.faults.drop"], plan.FiredOp(cluster.FaultDrop))
 	}
 	if after := stableGoroutines(before); after > before {
 		t.Fatalf("goroutines leaked: %d before, %d after", before, after)

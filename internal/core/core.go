@@ -32,6 +32,7 @@ import (
 	"dismastd/internal/dplan"
 	"dismastd/internal/dtd"
 	"dismastd/internal/mat"
+	"dismastd/internal/obs"
 	"dismastd/internal/partition"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
@@ -56,6 +57,12 @@ type Options struct {
 	// pass over the entries instead of reusing the MTTKRP result
 	// (ablation baseline for the Section IV-B4 reuse).
 	NaiveLoss bool
+
+	// Obs receives planning-time instrumentation (complement extraction
+	// and partitioning spans, partition balance gauges). Per-rank compute
+	// instruments come from each Worker's own bundle, not this one. May
+	// be nil.
+	Obs *obs.Obs
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -99,6 +106,7 @@ type StepStats struct {
 	Imbalance     []float64         // per-mode partition load CV (Table IV statistic)
 	Cluster       *cluster.RunStats // measured traffic, work, wall time
 	SetupBytes    int64             // estimated one-time distribution cost (Theorem 4)
+	Phases        []obs.PhaseStat   // per-phase wall time aggregated across ranks
 }
 
 // Step advances the decomposition from prev to the new snapshot on an
@@ -118,8 +126,24 @@ func Step(prev *dtd.State, snapshot *tensor.Tensor, o Options) (*dtd.State, *Ste
 		return nil, nil, err
 	}
 	stats.Cluster = runStats
+	stats.Phases = PhasesOf(runStats)
 	job.OverrideAlgoMetrics(runStats)
 	return st, stats, nil
+}
+
+// PhasesOf merges every rank's span aggregates into one per-phase
+// wall-time breakdown (mttkrp, solve, allreduce, exchange, loss).
+func PhasesOf(stats *cluster.RunStats) []obs.PhaseStat {
+	if stats == nil {
+		return nil
+	}
+	var all []obs.PhaseStat
+	for _, rk := range stats.Ranks {
+		if rk.Obs != nil {
+			all = append(all, rk.Obs.Phases...)
+		}
+	}
+	return obs.AggregatePhases(all)
 }
 
 // OverrideAlgoMetrics replaces the run's traffic counters with the
@@ -150,8 +174,17 @@ func NewStepJob(prev *dtd.State, snapshot *tensor.Tensor, o Options) (*StepJob, 
 	if err := checkGrowth(prev, snapshot, opts.Rank); err != nil {
 		return nil, err
 	}
+	sp := opts.Obs.Span("plan/complement")
 	comp := snapshot.Complement(prev.Dims)
+	sp.End()
+	sp = opts.Obs.Span("plan/partition")
 	plan := dplan.Build(comp, opts.Workers, opts.Parts, opts.Method)
+	sp.End()
+	if opts.Obs != nil {
+		for _, mp := range plan.ModePlans {
+			mp.Observe(opts.Obs.Reg)
+		}
+	}
 	job := &StepJob{
 		opts:    opts,
 		newDims: append([]int(nil), snapshot.Dims...),
@@ -295,6 +328,21 @@ type workerState struct {
 
 	trace []float64
 	iters int
+
+	// Instrumentation, pre-resolved at construction so the sweeps stay
+	// allocation-free: one span-name set per mode and counter handles for
+	// the hot-path totals. obs (and thus every handle) may be nil.
+	obs       *obs.Obs
+	names     []phaseNames
+	cMttkrp   *obs.Counter // mttkrp.rows: MTTKRP row accumulations (entries)
+	cSolve    *obs.Counter // solve.rows: factor rows updated by Eq. (5)
+	cAllBytes *obs.Counter // allreduce.bytes: batched Gram payload bytes sent
+}
+
+// phaseNames are one mode's span names, formatted once so per-sweep
+// tracing never builds strings.
+type phaseNames struct {
+	mttkrp, solve, allreduce, exchange string
 }
 
 func newWorkerState(j *StepJob, w *cluster.Worker) *workerState {
@@ -341,6 +389,19 @@ func newWorkerState(j *StepJob, w *cluster.Worker) *workerState {
 	st.g1p = mat.New(r, r)
 	st.crossp = mat.New(r, r)
 	st.h = mat.New(r, r)
+	st.obs = w.Obs()
+	st.names = make([]phaseNames, n)
+	for m := 0; m < n; m++ {
+		st.names[m] = phaseNames{
+			mttkrp:    fmt.Sprintf("mode%d/mttkrp", m),
+			solve:     fmt.Sprintf("mode%d/solve", m),
+			allreduce: fmt.Sprintf("mode%d/allreduce", m),
+			exchange:  fmt.Sprintf("mode%d/exchange", m),
+		}
+	}
+	st.cMttkrp = st.obs.Counter("mttkrp.rows")
+	st.cSolve = st.obs.Counter("solve.rows")
+	st.cAllBytes = st.obs.Counter("allreduce.bytes")
 	return st
 }
 
@@ -354,33 +415,49 @@ func (j *StepJob) RunWorker(w *cluster.Worker) error {
 	// Replicated Gram state, established by an initial all-reduce of
 	// per-owner partials.
 	for m := 0; m < n; m++ {
-		if err := st.reduceGrams(m); err != nil {
+		sp := st.obs.Span(st.names[m].allreduce)
+		err := st.reduceGrams(m)
+		sp.End()
+		if err != nil {
 			return err
 		}
 	}
 
 	prevLoss := math.Inf(1)
 	for sweep := 0; sweep < j.opts.MaxIters; sweep++ {
+		st.obs.SetIter(sweep)
 		for m := 0; m < n; m++ {
 			// 1. Distributed MTTKRP over this worker's mode-m entries.
+			sp := st.obs.Span(st.names[m].mttkrp)
 			st.mttkrpMode(m)
+			sp.End()
 
 			// 2. Row-wise update of owned rows.
+			sp = st.obs.Span(st.names[m].solve)
 			st.denominators(m)
 			st.updateOwnedRows(m)
+			sp.End()
 
 			// 3. All-to-all reduction of the partial Gram products.
-			if err := st.reduceGrams(m); err != nil {
+			sp = st.obs.Span(st.names[m].allreduce)
+			err := st.reduceGrams(m)
+			sp.End()
+			if err != nil {
 				return err
 			}
 
 			// 4. Push updated rows to subscribers.
-			if err := dplan.ExchangeRows(w, j.plan, m, st.full[m], j.opts.BroadcastRows); err != nil {
+			sp = st.obs.Span(st.names[m].exchange)
+			err = dplan.ExchangeRows(w, j.plan, m, st.full[m], j.opts.BroadcastRows)
+			sp.End()
+			if err != nil {
 				return err
 			}
 		}
 
+		sp := st.obs.Span("loss")
 		loss, err := st.loss()
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -446,6 +523,7 @@ func (st *workerState) mttkrpMode(mode int) {
 		}
 	}
 	st.w.AddWork(float64(len(entries)) * float64(n) * float64(r))
+	st.cMttkrp.Add(int64(len(entries)))
 	st.lastM = M
 }
 
@@ -528,6 +606,7 @@ func (st *workerState) updateOwnedRows(mode int) {
 	// rows just the solve (R²); the two R×R factorisations are R³ each.
 	rr := float64(r) * float64(r)
 	st.w.AddWork((2*float64(len(oldRows))+float64(len(newRows)))*rr + 2*float64(r)*rr)
+	st.cSolve.Add(int64(len(oldRows) + len(newRows)))
 }
 
 // gramPartials computes this worker's partial ÃᵀA⁰, A⁰ᵀA⁰, A¹ᵀA¹ over
@@ -577,6 +656,7 @@ func (st *workerState) applyGramSums(mode int, sum []float64) {
 // vector and refreshes the mode's replicated state in place.
 func (st *workerState) reduceGrams(mode int) error {
 	st.gramPartials(mode)
+	st.cAllBytes.Add(int64(8 * len(st.batch)))
 	sum, err := st.w.AllReduceSum(st.batch)
 	if err != nil {
 		return err

@@ -20,6 +20,7 @@ import (
 
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
+	"dismastd/internal/obs"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
 )
@@ -30,6 +31,10 @@ type Options struct {
 	MaxIters int     // maximum ALS sweeps; default 50
 	Tol      float64 // stop when the relative fit change falls below Tol; default 1e-6
 	Seed     uint64  // factor initialisation seed; default 1
+
+	// Obs receives the run's phase spans (modeN/mttkrp, modeN/solve,
+	// modeN/gram, loss). May be nil.
+	Obs *obs.Obs
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -123,22 +128,41 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 	denom := mat.New(opts.Rank, opts.Rank)
 	hall := mat.New(opts.Rank, opts.Rank)
 
+	// Per-mode span names, formatted once so the sweep loop never builds
+	// strings; every handle is nil-safe when opts.Obs is unset.
+	names := make([]struct{ mttkrp, solve, gram string }, n)
+	for m := 0; m < n; m++ {
+		names[m].mttkrp = fmt.Sprintf("mode%d/mttkrp", m)
+		names[m].solve = fmt.Sprintf("mode%d/solve", m)
+		names[m].gram = fmt.Sprintf("mode%d/gram", m)
+	}
+	cRows := opts.Obs.Counter("mttkrp.rows")
+
 	res := &Result{Factors: factors, LossTrace: make([]float64, 0, opts.MaxIters)}
 	prevFit := math.Inf(-1)
 	for it := 0; it < opts.MaxIters; it++ {
+		opts.Obs.SetIter(it)
 		var lastM *mat.Dense
 		for m := 0; m < n; m++ {
+			sp := opts.Obs.Span(names[m].mttkrp)
 			M := mbuf[m]
 			M.Zero()
 			views[m].AccumulateIntoWS(M, x, factors, ws)
+			cRows.Add(int64(x.NNZ()))
+			sp.End()
+			sp = opts.Obs.Span(names[m].solve)
 			hadamardExceptInto(denom, grams, m)
 			mat.SolveRightRidgeInto(factors[m], M, denom, ws)
+			sp.End()
+			sp = opts.Obs.Span(names[m].gram)
 			mat.GramInto(grams[m], factors[m])
+			sp.End()
 			lastM = M
 		}
 		res.Factors = factors
 		res.Iters = it + 1
 
+		lsp := opts.Obs.Span("loss")
 		inner := mat.Dot(lastM, factors[n-1])
 		mat.HadamardAllInto(hall, grams...)
 		modelSq := mat.SumAll(hall)
@@ -146,6 +170,7 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 		if lossSq < 0 {
 			lossSq = 0 // guard tiny negative round-off
 		}
+		lsp.End()
 		res.Loss = math.Sqrt(lossSq)
 		res.Fit = 1 - res.Loss/norm
 		res.LossTrace = append(res.LossTrace, res.Loss)

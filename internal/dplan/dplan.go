@@ -197,12 +197,14 @@ func ExchangeRows(w *cluster.Worker, p *Plan, mode int, factor *mat.Dense, broad
 	me := w.Rank()
 	tag := w.UniqueTag(fmt.Sprintf("rows/%d", mode))
 	r := factor.Cols
+	sent := w.Obs().Counter("exchange.rows")
 
 	sendRows := func(to int, rows []int32) error {
 		buf := make([]float64, 0, len(rows)*r)
 		for _, row := range rows {
 			buf = append(buf, factor.Row(int(row))...)
 		}
+		sent.Add(int64(len(rows)))
 		return w.Send(to, tag, cluster.EncodeFloat64s(buf))
 	}
 

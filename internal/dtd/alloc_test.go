@@ -4,17 +4,20 @@ import (
 	"testing"
 
 	"dismastd/internal/mat"
+	"dismastd/internal/obs"
 	"dismastd/internal/xrand"
 )
 
 // TestIterationAllocFree pins the tentpole property of the workspace
 // refactor: once the iteration's buffers are warm, a full DTD sweep —
 // the Eq. (5) updates over every mode plus the Eq. (4) loss — performs
-// zero heap allocations.
+// zero heap allocations. The iteration runs with a live observability
+// bundle so the span and counter instrumentation is inside the
+// measured region.
 func TestIterationAllocFree(t *testing.T) {
 	full := sparseRandom([]int{12, 10, 8}, 600, 5)
 	prevSnap := full.Prefix([]int{9, 8, 6})
-	opts := Options{Rank: 3, MaxIters: 5, Mu: 0.7, Seed: 11}
+	opts := Options{Rank: 3, MaxIters: 5, Mu: 0.7, Seed: 11, Obs: obs.New()}
 	prev, _, err := Init(prevSnap, opts)
 	if err != nil {
 		t.Fatal(err)

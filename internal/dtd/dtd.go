@@ -25,6 +25,7 @@ import (
 	"dismastd/internal/cp"
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
+	"dismastd/internal/obs"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
 )
@@ -36,6 +37,10 @@ type Options struct {
 	Tol      float64 // stop when the relative loss change falls below Tol; default 1e-6
 	Mu       float64 // forgetting factor μ in (0, 1]; default 0.8 (the paper's setting)
 	Seed     uint64  // growth-block initialisation seed; default 1
+
+	// Obs receives the step's phase spans and counters. May be nil; all
+	// handles are nil-safe, so instrumentation costs nothing when unset.
+	Obs *obs.Obs
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -86,6 +91,7 @@ type Stats struct {
 	Loss          float64   // final √L of Eq. (4)
 	LossTrace     []float64 // loss after each sweep
 	ComplementNNZ int       // nnz(X \ X̃) — the data the step touched
+	Phases        []obs.PhaseStat // per-phase wall time, when Options.Obs is set
 }
 
 // ErrDimsMismatch reports a snapshot incompatible with the previous
@@ -99,7 +105,7 @@ func Init(x *tensor.Tensor, o Options) (*State, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := cp.Decompose(x, cp.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Seed: opts.Seed})
+	res, err := cp.Decompose(x, cp.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Seed: opts.Seed, Obs: opts.Obs})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -122,7 +128,9 @@ func Step(prev *State, snapshot *tensor.Tensor, o Options) (*State, *Stats, erro
 
 	n := snapshot.Order()
 	oldDims := prev.Dims
+	sp := opts.Obs.Span("plan/complement")
 	comp := snapshot.Complement(oldDims)
+	sp.End()
 
 	// Stack old factors over randomly initialised growth blocks.
 	src := xrand.New(opts.Seed)
@@ -136,14 +144,20 @@ func Step(prev *State, snapshot *tensor.Tensor, o Options) (*State, *Stats, erro
 	stats := &Stats{ComplementNNZ: comp.NNZ(), LossTrace: make([]float64, 0, opts.MaxIters)}
 	prevLoss := math.Inf(1)
 	for sweep := 0; sweep < opts.MaxIters; sweep++ {
+		opts.Obs.SetIter(sweep)
 		it.sweep()
 		stats.Iters = sweep + 1
+		lsp := opts.Obs.Span("loss")
 		stats.Loss = it.loss()
+		lsp.End()
 		stats.LossTrace = append(stats.LossTrace, stats.Loss)
 		if relChange(prevLoss, stats.Loss) < opts.Tol {
 			break
 		}
 		prevLoss = stats.Loss
+	}
+	if opts.Obs != nil && opts.Obs.Trace != nil {
+		stats.Phases = obs.AggregatePhases(opts.Obs.Trace.Phases())
 	}
 	return &State{Dims: append([]int(nil), snapshot.Dims...), Factors: full}, stats, nil
 }
@@ -203,6 +217,17 @@ type iteration struct {
 	hprod    *mat.Dense   // ∗_{k≠n} cross[k]
 	sum      *mat.Dense   // gram0[k]+gram1[k] scratch
 	fullG    []*mat.Dense // per-mode gram0+gram1, rebuilt by loss()
+
+	// Instrumentation, pre-resolved so sweeps stay allocation-free: one
+	// span-name set per mode plus the MTTKRP row counter. May be nil.
+	obs     *obs.Obs
+	names   []sweepNames
+	cMttkrp *obs.Counter
+}
+
+// sweepNames are one mode's span names, formatted once at construction.
+type sweepNames struct {
+	mttkrp, solve, gram string
 }
 
 func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims []int, opts Options) *iteration {
@@ -249,6 +274,16 @@ func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims [
 	it.g0prod = mat.New(r, r)
 	it.hprod = mat.New(r, r)
 	it.sum = mat.New(r, r)
+	it.obs = opts.Obs
+	it.names = make([]sweepNames, n)
+	for m := 0; m < n; m++ {
+		it.names[m] = sweepNames{
+			mttkrp: fmt.Sprintf("mode%d/mttkrp", m),
+			solve:  fmt.Sprintf("mode%d/solve", m),
+			gram:   fmt.Sprintf("mode%d/gram", m),
+		}
+	}
+	it.cMttkrp = it.obs.Counter("mttkrp.rows")
 	for m := 0; m < n; m++ {
 		it.refreshGrams(m)
 	}
@@ -294,10 +329,14 @@ func (it *iteration) denominators(mode int) {
 func (it *iteration) sweep() {
 	r := it.opts.Rank
 	for m := range it.full {
+		sp := it.obs.Span(it.names[m].mttkrp)
 		M := it.mbuf[m]
 		M.Zero()
 		it.views[m].AccumulateIntoWS(M, it.comp, it.full, it.ws)
+		it.cMttkrp.Add(int64(it.comp.NNZ()))
+		sp.End()
 
+		sp = it.obs.Span(it.names[m].solve)
 		it.denominators(m)
 		it.d0.Scale(-(1 - it.opts.Mu), it.g0prod)
 		it.d0.Add(it.d0, it.d1)
@@ -311,7 +350,11 @@ func (it *iteration) sweep() {
 		mat.SolveRightRidgeInto(it.a0v[m], num0, it.d0, it.ws)
 		mat.SolveRightRidgeInto(it.a1v[m], it.m1v[m], it.d1, it.ws)
 		it.ws.Release(mark)
+		sp.End()
+
+		sp = it.obs.Span(it.names[m].gram)
 		it.refreshGrams(m)
+		sp.End()
 		it.lastM = M
 	}
 }

@@ -1,0 +1,42 @@
+package obs
+
+import "testing"
+
+// TestHotPathAllocFree pins the package's core contract: once handles
+// are resolved and span names interned, counter/gauge/histogram updates
+// and span record cycles perform zero heap allocations — so threading
+// them through the PR 2 allocation-free kernels cannot regress the
+// dtd/core AllocsPerRun guards.
+func TestHotPathAllocFree(t *testing.T) {
+	o := New()
+	c := o.Counter("mttkrp.rows")
+	g := o.Gauge("partition.mode0.cv")
+	h := o.Histogram("lat", []float64{1, 10, 100})
+	const name = "mode0/mttkrp" // precomputed, as the worker states do
+	warm := func() {
+		c.Add(17)
+		g.Set(0.5)
+		h.Observe(42)
+		sp := o.Span(name)
+		sp.End()
+	}
+	warm() // intern the span name in the aggregate map
+	if allocs := testing.AllocsPerRun(100, warm); allocs != 0 {
+		t.Errorf("hot-path instrument updates allocate %v times, want 0", allocs)
+	}
+}
+
+// TestNilObsAllocFree: the disabled path must be free too — nil handles
+// and the zero Span cost nothing.
+func TestNilObsAllocFree(t *testing.T) {
+	var o *Obs
+	c := o.Counter("x")
+	pass := func() {
+		c.Inc()
+		sp := o.Span("anything")
+		sp.End()
+	}
+	if allocs := testing.AllocsPerRun(100, pass); allocs != 0 {
+		t.Errorf("nil-obs path allocates %v times, want 0", allocs)
+	}
+}

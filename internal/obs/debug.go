@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the debug mux for a live bundle, the backing for
+// cmd/worker's -debug-addr listener:
+//
+//	/debug/pprof/...  net/http/pprof (profile, heap, goroutine, ...)
+//	/debug/metrics    the registry snapshot as indented JSON
+//	/debug/phases     per-phase timing aggregates as JSON
+//	/debug/trace      the span ring as JSONL, oldest-first
+//	/debug/vars       expvar (cmdline, memstats)
+//
+// The mux serves whatever the bundle has accumulated since creation —
+// for a TCP worker that is the node's whole lifetime, across steps.
+// Nothing here authenticates: bind loopback or firewall the port (see
+// DESIGN.md, "Observability").
+func Handler(o *Obs) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.Reg.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/phases", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(o.Trace.Phases()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := o.Trace.WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

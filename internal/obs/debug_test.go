@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestDebugHandlerEndpoints(t *testing.T) {
+	o := New()
+	o.Counter("transport.reconnects").Add(3)
+	o.Trace.SetRank(1)
+	o.Span("mode0/mttkrp").End()
+	o.Span("loss").End()
+
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	if body, ct := get(t, srv, "/debug/metrics"); !strings.Contains(body, `"transport.reconnects": 3`) || ct != "application/json" {
+		t.Fatalf("/debug/metrics = %q (%s)", body, ct)
+	}
+	if body, _ := get(t, srv, "/debug/phases"); !strings.Contains(body, `"name": "loss"`) {
+		t.Fatalf("/debug/phases = %q", body)
+	}
+	body, ct := get(t, srv, "/debug/trace")
+	if ct != "application/x-ndjson" {
+		t.Fatalf("/debug/trace content type %s", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "mode0/mttkrp") {
+		t.Fatalf("/debug/trace = %q", body)
+	}
+	if body, _ := get(t, srv, "/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars = %q", body)
+	}
+	// pprof index and a cheap profile endpoint; the CPU profile itself
+	// is exercised against a live worker in cmd/worker's tests.
+	if body, _ := get(t, srv, "/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %q", body)
+	}
+	if body, _ := get(t, srv, "/debug/pprof/heap?debug=1"); !strings.Contains(body, "heap profile") {
+		t.Fatalf("/debug/pprof/heap = %q", body)
+	}
+}

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Structured logging helpers. The repo logs through *slog.Logger with
+// rank/snapshot/iteration attributes attached once via With, replacing
+// the old ad-hoc fmt.Fprintf lines in cmd/worker. Logging never sits on
+// the per-sweep hot path — it happens at step and transport-event
+// granularity — so handler allocation costs are irrelevant there.
+
+// discardHandler drops every record. slog.DiscardHandler exists only
+// from Go 1.24; this keeps the module buildable at its declared go 1.22.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var discardLogger = slog.New(discardHandler{})
+
+// Discard returns a logger that drops everything — the default for
+// library code until a binary installs a real one.
+func Discard() *slog.Logger { return discardLogger }
+
+// NewLogger returns a text logger writing records at or above level to
+// w — the worker binary's stderr logger.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}

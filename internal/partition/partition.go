@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"dismastd/internal/obs"
 )
 
 // Method selects a partitioning heuristic.
@@ -256,6 +258,20 @@ func (p *ModePlan) MaxLoad() int64 {
 		}
 	}
 	return max
+}
+
+// Observe publishes the plan's balance statistics as gauges
+// (partition.mode<M>.cv, .max_load, .parts) so a live registry shows
+// how well the current snapshot's slices spread. Planning-time only —
+// not on any hot path. No-op on a nil registry.
+func (p *ModePlan) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := fmt.Sprintf("partition.mode%d.", p.Mode)
+	reg.Gauge(prefix + "cv").Set(p.ImbalanceStdDev())
+	reg.Gauge(prefix + "max_load").Set(float64(p.MaxLoad()))
+	reg.Gauge(prefix + "parts").Set(float64(p.Parts))
 }
 
 // ImbalanceStdDev returns the standard deviation of the per-partition
