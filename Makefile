@@ -8,11 +8,11 @@ CLUSTER_PKGS = ./internal/cluster/... ./internal/core/... ./cmd/worker/...
 # contract (see DESIGN.md, "Memory model"); the race detector over these
 # packages is what enforces that no scratch buffer leaks across
 # goroutines.
-NUMERIC_PKGS = ./internal/mat/... ./internal/mttkrp/... ./internal/cp/... \
-	./internal/dtd/... ./internal/dmsmg/... ./internal/completion/... \
-	./internal/onlinecp/...
+NUMERIC_PKGS = ./internal/par/... ./internal/mat/... ./internal/mttkrp/... \
+	./internal/cp/... ./internal/dtd/... ./internal/dmsmg/... \
+	./internal/completion/... ./internal/onlinecp/...
 
-.PHONY: all build test vet race check bench bench-paper profile clean
+.PHONY: all build test vet race check bench bench-paper bench-par profile clean
 
 all: check
 
@@ -47,6 +47,15 @@ bench:
 bench-paper:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/bench/... \
 		| $(GO) run ./cmd/benchjson -o BENCH_stream.json
+
+# Thread-scaling benchmark: the MTTKRP phase and a full DTD step at
+# 1/2/4/8 compute threads, captured as JSON. benchjson derives a
+# speedup_vs_1 column from the threads=1 rows of each benchmark, so
+# BENCH_parallel.json is the 1-thread vs N-thread speedup table.
+bench-par:
+	$(GO) test -bench='BenchmarkParallel' -benchtime=5x -run '^$$' \
+		./internal/bench/... \
+		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json
 
 # CPU and heap profiles of the distributed step on the in-process
 # cluster; inspect with `$(GO) tool pprof cpu.prof`.

@@ -1,15 +1,20 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON file, echoing the original output through to
 // stdout so the run stays human-readable. `make bench` pipes the kernel
-// benchmarks through it to produce BENCH_kernels.json and `make
+// benchmarks through it to produce BENCH_kernels.json, `make
 // bench-paper` the streaming suite through it to produce
-// BENCH_stream.json — the artefacts tracked across PRs for performance
-// regressions.
+// BENCH_stream.json, and `make bench-par` the thread-scaling suite
+// through it to produce BENCH_parallel.json — the artefacts tracked
+// across PRs for performance regressions.
 //
 // A benchmark line is the name, the iteration count, then (value, unit)
 // pairs. The standard units land in dedicated fields; custom metrics
 // reported with b.ReportMetric (e.g. mttkrp_p50_us) are collected in
-// the extra map.
+// the extra map. The file wraps the rows with the run's environment
+// (goos/goarch/cpu headers from the bench output, GOMAXPROCS from the
+// benchmark name suffix), and rows that differ only in a "threads=N"
+// name segment gain a derived speedup_vs_1 metric — the 1-thread
+// ns/op of the same benchmark divided by the row's own.
 package main
 
 import (
@@ -18,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -31,6 +38,20 @@ type Row struct {
 	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
 	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Meta records the environment the benchmarks ran in.
+type Meta struct {
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	CPU        string `json:"cpu,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+}
+
+// File is the JSON document benchjson writes.
+type File struct {
+	Meta    Meta  `json:"meta"`
+	Results []Row `json:"results"`
 }
 
 // parseBenchLine decodes one `go test -bench` result line, generically:
@@ -69,11 +90,56 @@ func parseBenchLine(line, pkg string) (Row, bool) {
 	return row, true
 }
 
+// procsSuffix extracts N from the standard "-N" benchmark name suffix
+// (the GOMAXPROCS of the run), or 0 when absent.
+func procsSuffix(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+var threadsSeg = regexp.MustCompile(`threads=(\d+)`)
+
+// addSpeedups annotates every row whose name carries a "threads=N"
+// segment with speedup_vs_1: the ns/op of the matching threads=1 row
+// (same package, same name otherwise) divided by the row's own ns/op.
+func addSpeedups(rows []Row) {
+	key := func(r Row) string {
+		return r.Package + "|" + threadsSeg.ReplaceAllString(r.Name, "threads=*")
+	}
+	base := map[string]float64{}
+	for _, r := range rows {
+		if m := threadsSeg.FindStringSubmatch(r.Name); m != nil && m[1] == "1" {
+			base[key(r)] = r.NsPerOp
+		}
+	}
+	for i := range rows {
+		r := &rows[i]
+		if threadsSeg.FindStringIndex(r.Name) == nil {
+			continue
+		}
+		b, ok := base[key(*r)]
+		if !ok || b == 0 || r.NsPerOp == 0 {
+			continue
+		}
+		if r.Extra == nil {
+			r.Extra = map[string]float64{}
+		}
+		r.Extra["speedup_vs_1"] = b / r.NsPerOp
+	}
+}
+
 func main() {
 	out := flag.String("o", "BENCH_kernels.json", "output JSON path")
 	flag.Parse()
 
-	var rows []Row
+	var doc File
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -84,16 +150,38 @@ func main() {
 			pkg = strings.TrimSpace(rest)
 			continue
 		}
+		if rest, ok := strings.CutPrefix(line, "goos: "); ok {
+			doc.Meta.GOOS = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "goarch: "); ok {
+			doc.Meta.GOARCH = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.Meta.CPU = strings.TrimSpace(rest)
+			continue
+		}
 		if row, ok := parseBenchLine(line, pkg); ok {
-			rows = append(rows, row)
+			if doc.Meta.GOMAXPROCS == 0 {
+				doc.Meta.GOMAXPROCS = procsSuffix(row.Name)
+			}
+			doc.Results = append(doc.Results, row)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
 		os.Exit(1)
 	}
+	addSpeedups(doc.Results)
+	if doc.Meta.GOMAXPROCS == 0 {
+		// No -N name suffix (GOMAXPROCS=1 runs omit it, or no rows):
+		// fall back to this process, which `make bench*` runs on the
+		// same machine via a pipe.
+		doc.Meta.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	}
 
-	data, err := json.MarshalIndent(rows, "", "  ")
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
 		os.Exit(1)
@@ -103,5 +191,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rows), *out)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
 }

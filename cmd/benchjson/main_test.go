@@ -36,3 +36,41 @@ func TestParseBenchLine(t *testing.T) {
 		}
 	}
 }
+
+func TestProcsSuffix(t *testing.T) {
+	if n := procsSuffix("BenchmarkStepLocal-8"); n != 8 {
+		t.Fatalf("procsSuffix = %d, want 8", n)
+	}
+	if n := procsSuffix("BenchmarkParallelSweep/threads=4-16"); n != 16 {
+		t.Fatalf("procsSuffix = %d, want 16", n)
+	}
+	if n := procsSuffix("BenchmarkNoSuffix"); n != 0 {
+		t.Fatalf("procsSuffix = %d, want 0", n)
+	}
+}
+
+func TestAddSpeedups(t *testing.T) {
+	rows := []Row{
+		{Package: "p", Name: "BenchmarkParallelSweep/threads=1-8", NsPerOp: 8000},
+		{Package: "p", Name: "BenchmarkParallelSweep/threads=4-8", NsPerOp: 2500},
+		{Package: "p", Name: "BenchmarkParallelSweep/threads=8-8", NsPerOp: 1000},
+		{Package: "q", Name: "BenchmarkParallelSweep/threads=8-8", NsPerOp: 4000}, // other package: no base row
+		{Package: "p", Name: "BenchmarkStepLocal-8", NsPerOp: 999},                // no threads segment
+	}
+	addSpeedups(rows)
+	if got := rows[0].Extra["speedup_vs_1"]; got != 1 {
+		t.Fatalf("threads=1 speedup %v, want 1", got)
+	}
+	if got := rows[1].Extra["speedup_vs_1"]; got != 3.2 {
+		t.Fatalf("threads=4 speedup %v, want 3.2", got)
+	}
+	if got := rows[2].Extra["speedup_vs_1"]; got != 8 {
+		t.Fatalf("threads=8 speedup %v, want 8", got)
+	}
+	if _, ok := rows[3].Extra["speedup_vs_1"]; ok {
+		t.Fatal("cross-package speedup attributed")
+	}
+	if _, ok := rows[4].Extra["speedup_vs_1"]; ok {
+		t.Fatal("speedup on a row without a threads segment")
+	}
+}

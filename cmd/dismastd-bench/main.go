@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"dismastd/internal/bench"
@@ -43,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	iters := fs.Int("iters", 10, "max ALS sweeps (paper: 10)")
 	mu := fs.Float64("mu", 0.8, "forgetting factor (paper: 0.8)")
 	workers := fs.Int("workers", 15, "cluster size (paper: 15 nodes)")
+	threads := fs.Int("threads", 1, "compute threads per worker (0 = GOMAXPROCS); results are identical at every value")
 	seed := fs.Uint64("seed", 42, "generator seed")
 	datasets := fs.String("datasets", "", "comma-separated subset (default all four)")
 	svgDir := fs.String("svgdir", "", "also render the figures as SVG charts into this directory")
@@ -65,9 +67,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	nthreads := *threads
+	if nthreads == 0 {
+		nthreads = runtime.GOMAXPROCS(0)
+	}
 	cfg := bench.Config{
 		TargetNNZ: *nnz, Rank: *rank, MaxIters: *iters, Mu: *mu,
-		Workers: *workers, Seed: *seed,
+		Workers: *workers, Threads: nthreads, Seed: *seed,
 	}
 	if *datasets != "" {
 		for _, name := range strings.Split(*datasets, ",") {

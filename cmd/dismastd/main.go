@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -47,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	iters := fs.Int("iters", 10, "maximum ALS sweeps per snapshot")
 	mu := fs.Float64("mu", 0.8, "forgetting factor in (0, 1]")
 	workers := fs.Int("workers", 1, "worker count (1 = centralized DTD, >1 = distributed DisMASTD)")
+	threads := fs.Int("threads", 0, "compute threads per worker (0 = GOMAXPROCS); results are identical at every value")
 	parts := fs.Int("parts", 0, "tensor partitions per mode (default = workers)")
 	method := fs.String("method", "gtp", "partitioning heuristic: gtp or mtp")
 	seed := fs.Uint64("seed", 1, "initialisation seed")
@@ -68,9 +70,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown method %q (gtp or mtp)", *method)
 	}
 
+	nthreads := *threads
+	if nthreads == 0 {
+		nthreads = runtime.GOMAXPROCS(0)
+	}
 	opts := dismastd.Options{
 		Rank: *rank, MaxIters: *iters, ForgettingFactor: *mu, Seed: *seed,
 		Workers: *workers, Parts: *parts, Partitioner: partitioner,
+		Threads: nthreads,
 	}
 	stream := dismastd.NewStream(opts)
 	if *resume != "" {

@@ -35,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -62,6 +63,7 @@ type workerConfig struct {
 	checkpoint    string
 	resume        bool
 	rank, iters   int
+	threads       int
 	mu            float64
 	method        partition.Method
 	seed          uint64
@@ -69,6 +71,15 @@ type workerConfig struct {
 	heartbeat     time.Duration
 	chaosKillStep int
 	debugAddr     string
+}
+
+// resolveThreads maps the -threads flag to a pool size: 0 means one
+// compute thread per available CPU.
+func resolveThreads(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -86,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	resume := fs.Bool("resume", false, "worker mode: continue from the latest -checkpoint instead of recomputing completed steps")
 	rank := fs.Int("rank", 10, "CP rank R")
 	iters := fs.Int("iters", 10, "maximum ALS sweeps")
+	threads := fs.Int("threads", 0, "compute threads for this rank's numeric kernels (0 = GOMAXPROCS); results are identical at every value")
 	mu := fs.Float64("mu", 0.8, "forgetting factor")
 	method := fs.String("method", "mtp", "partitioning heuristic: gtp or mtp")
 	seed := fs.Uint64("seed", 1, "initialisation seed")
@@ -134,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			tensors:  strings.Split(*tensorPath, ","),
 			prevPath: *prevPath, outPath: *outPath,
 			checkpoint: *checkpoint, resume: *resume,
-			rank: *rank, iters: *iters, mu: *mu, method: pm, seed: *seed,
+			rank: *rank, iters: *iters, threads: resolveThreads(*threads), mu: *mu, method: pm, seed: *seed,
 			timeout: *timeout, heartbeat: *heartbeat, chaosKillStep: *chaosKill,
 			debugAddr: *debugAddr,
 		}
@@ -205,7 +217,7 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 		}
 		job, err := core.NewStepJob(prev, snaps[step], core.Options{
 			Rank: cfg.rank, MaxIters: cfg.iters, Mu: cfg.mu, Seed: cfg.seed,
-			Workers: node.Size(), Method: cfg.method, Obs: node.Obs(),
+			Workers: node.Size(), Method: cfg.method, Threads: cfg.threads, Obs: node.Obs(),
 		})
 		if err != nil {
 			return err

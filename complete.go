@@ -30,10 +30,14 @@ type CompletionOptions struct {
 	Parts int
 	// Partitioner chooses GTP or MTP for the distributed engine.
 	Partitioner Partitioner
+	// Threads sizes the shared-memory pool the sweep (or, with
+	// Workers > 1, each worker) runs on. 0 or 1 means sequential;
+	// results are bitwise identical at every value.
+	Threads int
 }
 
 func (o CompletionOptions) internal() completion.Options {
-	return completion.Options{Rank: o.Rank, MaxIters: o.MaxIters, Tol: o.Tol, Lambda: o.Lambda, Seed: o.Seed}
+	return completion.Options{Rank: o.Rank, MaxIters: o.MaxIters, Tol: o.Tol, Lambda: o.Lambda, Seed: o.Seed, Threads: o.Threads}
 }
 
 // CompletionResult reports a completion fit.

@@ -34,6 +34,7 @@ type Config struct {
 	Mu        float64 // forgetting factor; the paper uses 0.8
 	MaxIters  int     // sweeps per decomposition; the paper uses 10
 	Workers   int     // cluster size; the paper's testbed has 15 nodes
+	Threads   int     // compute threads per worker; 0/1 = sequential
 	Seed      uint64
 	Model     simtime.Model
 	Datasets  []dataset.Kind
@@ -249,7 +250,7 @@ type Measurement struct {
 func (c Config) runDisMASTD(model simtime.Model, prev *dtd.State, snap *tensor.Tensor, method partition.Method, workers, parts int) (*dtd.State, Measurement, error) {
 	st, stats, err := core.Step(prev, snap, core.Options{
 		Rank: c.Rank, MaxIters: c.MaxIters, Tol: 1e-9, Mu: c.Mu, Seed: c.Seed,
-		Workers: workers, Parts: parts, Method: method,
+		Workers: workers, Parts: parts, Method: method, Threads: c.Threads,
 	})
 	if err != nil {
 		return nil, Measurement{}, err
@@ -270,7 +271,7 @@ func (c Config) runDisMASTD(model simtime.Model, prev *dtd.State, snap *tensor.T
 func (c Config) runDMSMG(model simtime.Model, snap *tensor.Tensor, method partition.Method, workers, parts int) (Measurement, error) {
 	_, stats, err := dmsmg.Decompose(snap, dmsmg.Options{
 		Rank: c.Rank, MaxIters: c.MaxIters, Tol: 1e-9, Seed: c.Seed,
-		Workers: workers, Parts: parts, Method: method,
+		Workers: workers, Parts: parts, Method: method, Threads: c.Threads,
 	})
 	if err != nil {
 		return Measurement{}, err
@@ -315,7 +316,7 @@ func Fig5(cfg Config) ([]Fig5Point, error) {
 		}
 		for _, method := range Methods {
 			if method.Streaming {
-				st, _, err := dtd.Init(snaps[0], dtd.Options{Rank: cfg.Rank, MaxIters: cfg.MaxIters, Mu: cfg.Mu, Seed: cfg.Seed})
+				st, _, err := dtd.Init(snaps[0], dtd.Options{Rank: cfg.Rank, MaxIters: cfg.MaxIters, Mu: cfg.Mu, Seed: cfg.Seed, Threads: cfg.Threads})
 				if err != nil {
 					return nil, fmt.Errorf("fig5 %s %s init: %w", k, method.Name, err)
 				}
@@ -375,7 +376,7 @@ func Fig6(cfg Config) ([]Fig6Point, error) {
 			return nil, err
 		}
 		prevSnap := seq.Snapshot(seq.Len() - 2)
-		st, _, err := dtd.Init(prevSnap, dtd.Options{Rank: cfg.Rank, MaxIters: cfg.MaxIters, Mu: cfg.Mu, Seed: cfg.Seed})
+		st, _, err := dtd.Init(prevSnap, dtd.Options{Rank: cfg.Rank, MaxIters: cfg.MaxIters, Mu: cfg.Mu, Seed: cfg.Seed, Threads: cfg.Threads})
 		if err != nil {
 			return nil, fmt.Errorf("fig6 %s init: %w", k, err)
 		}
@@ -428,7 +429,7 @@ func Fig7(cfg Config) ([]Fig7Point, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, _, err := dtd.Init(seq.Snapshot(seq.Len()-2), dtd.Options{Rank: cfg.Rank, MaxIters: cfg.MaxIters, Mu: cfg.Mu, Seed: cfg.Seed})
+		st, _, err := dtd.Init(seq.Snapshot(seq.Len()-2), dtd.Options{Rank: cfg.Rank, MaxIters: cfg.MaxIters, Mu: cfg.Mu, Seed: cfg.Seed, Threads: cfg.Threads})
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s init: %w", k, err)
 		}

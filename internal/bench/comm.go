@@ -41,13 +41,13 @@ func Comm(cfg Config) ([]CommPoint, error) {
 		if err != nil {
 			return err
 		}
-		prev, _, err := dtd.Init(seq.Snapshot(0), dtd.Options{Rank: rank, MaxIters: 3, Seed: cfg.Seed})
+		prev, _, err := dtd.Init(seq.Snapshot(0), dtd.Options{Rank: rank, MaxIters: 3, Seed: cfg.Seed, Threads: cfg.Threads})
 		if err != nil {
 			return err
 		}
 		_, stats, err := core.Step(prev, seq.Snapshot(1), core.Options{
 			Rank: rank, MaxIters: cfg.MaxIters, Tol: 0, Workers: workers,
-			Method: partition.MTPMethod, Seed: cfg.Seed,
+			Method: partition.MTPMethod, Seed: cfg.Seed, Threads: cfg.Threads,
 		})
 		if err != nil {
 			return err

@@ -39,7 +39,7 @@ func Fit(cfg Config) ([]FitPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, _, err := dtd.Init(seq.Snapshot(0), dtd.Options{Rank: cfg.Rank, MaxIters: cfg.MaxIters, Mu: cfg.Mu, Seed: cfg.Seed})
+		st, _, err := dtd.Init(seq.Snapshot(0), dtd.Options{Rank: cfg.Rank, MaxIters: cfg.MaxIters, Mu: cfg.Mu, Seed: cfg.Seed, Threads: cfg.Threads})
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +47,7 @@ func Fit(cfg Config) ([]FitPoint, error) {
 			snap := seq.Snapshot(i)
 			st, _, err = core.Step(st, snap, core.Options{
 				Rank: cfg.Rank, MaxIters: cfg.MaxIters, Tol: 1e-9, Mu: cfg.Mu, Seed: cfg.Seed,
-				Workers: cfg.Workers, Method: partition.MTPMethod,
+				Workers: cfg.Workers, Method: partition.MTPMethod, Threads: cfg.Threads,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fit %s step %d: %w", k, i, err)
@@ -56,7 +56,7 @@ func Fit(cfg Config) ([]FitPoint, error) {
 
 			_, mgStats, err := dmsmg.Decompose(snap, dmsmg.Options{
 				Rank: cfg.Rank, MaxIters: cfg.MaxIters, Tol: 1e-9, Seed: cfg.Seed,
-				Workers: cfg.Workers, Method: partition.MTPMethod,
+				Workers: cfg.Workers, Method: partition.MTPMethod, Threads: cfg.Threads,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fit %s step %d recompute: %w", k, i, err)

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -45,10 +46,12 @@ type PhaseMedian struct {
 
 // PhasesReport is the full breakdown for one dataset's stream.
 type PhasesReport struct {
-	Dataset string        `json:"dataset"`
-	Workers int           `json:"workers"`
-	Steps   []PhaseStep   `json:"steps"`
-	Medians []PhaseMedian `json:"medians"`
+	Dataset    string        `json:"dataset"`
+	Workers    int           `json:"workers"`
+	Threads    int           `json:"threads"`    // compute threads per worker (1 = sequential)
+	GOMAXPROCS int           `json:"gomaxprocs"` // scheduler parallelism of the measuring process
+	Steps      []PhaseStep   `json:"steps"`
+	Medians    []PhaseMedian `json:"medians"`
 }
 
 // StreamPhases replays the 75%→100% stream on one dataset with
@@ -61,16 +64,20 @@ func StreamPhases(cfg Config, k dataset.Kind) (*PhasesReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, _, err := dtd.Init(seq.Snapshot(0), dtd.Options{Rank: cfg.Rank, MaxIters: cfg.MaxIters, Mu: cfg.Mu, Seed: cfg.Seed})
+	st, _, err := dtd.Init(seq.Snapshot(0), dtd.Options{Rank: cfg.Rank, MaxIters: cfg.MaxIters, Mu: cfg.Mu, Seed: cfg.Seed, Threads: cfg.Threads})
 	if err != nil {
 		return nil, fmt.Errorf("phases %s init: %w", k, err)
 	}
-	report := &PhasesReport{Dataset: k.String(), Workers: cfg.Workers}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	report := &PhasesReport{Dataset: k.String(), Workers: cfg.Workers, Threads: threads, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	durs := map[string][]time.Duration{}
 	for i := 1; i < seq.Len(); i++ {
 		next, stats, err := core.Step(st, seq.Snapshot(i), core.Options{
 			Rank: cfg.Rank, MaxIters: cfg.MaxIters, Tol: 1e-9, Mu: cfg.Mu, Seed: cfg.Seed,
-			Workers: cfg.Workers, Method: partition.MTPMethod,
+			Workers: cfg.Workers, Method: partition.MTPMethod, Threads: cfg.Threads,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("phases %s step %d: %w", k, i, err)

@@ -30,6 +30,7 @@ import (
 
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
+	"dismastd/internal/par"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
 )
@@ -41,6 +42,12 @@ type Options struct {
 	Tol      float64 // stop when relative RMSE change falls below Tol; default 1e-6
 	Lambda   float64 // ridge regulariser λ; default 1e-3
 	Seed     uint64  // initialisation seed; default 1
+
+	// Threads sizes the shared-memory pool the sweep runs on (see
+	// internal/par). 0 or 1 means sequential. Each factor row's normal
+	// system is built and solved by exactly one chunk, so results are
+	// bitwise identical at every value.
+	Threads int
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -65,6 +72,12 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if opts.Seed == 0 {
 		opts.Seed = 1
+	}
+	if opts.Threads < 0 {
+		return opts, fmt.Errorf("completion: negative thread count %d", opts.Threads)
+	}
+	if opts.Threads == 0 {
+		opts.Threads = 1
 	}
 	return opts, nil
 }
@@ -120,20 +133,23 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 		views[m] = mttkrp.NewModeView(x, m)
 	}
 
-	// All sweep scratch is allocated here, once: the per-row normal
-	// system, its solution, the Khatri-Rao row, and the RMSE product
-	// buffer, so steady-state iterations allocate nothing.
-	ws := mat.NewWorkspace()
+	// All sweep scratch lives in per-thread workspaces: each chunk of
+	// row groups checks out its own normal system, solution, and
+	// Khatri-Rao row, so steady-state iterations allocate nothing and
+	// chunks never share a buffer. Groups are distributed nnz-balanced
+	// across the pool; a row's system is built and solved entirely by
+	// one chunk, so the fit is bitwise thread-count independent.
+	pool := par.New(opts.Threads)
+	defer pool.Close()
+	wss := mat.NewWorkspaceSet(pool.Threads())
+	task := &modeRowsTask{x: x, factors: factors, lambda: opts.Lambda, rank: r, wss: wss}
 	res := &Result{Factors: factors, RMSETrace: make([]float64, 0, opts.MaxIters)}
 	prev := math.Inf(1)
-	h := make([]float64, r)
-	sys := mat.New(r, r)
-	rhs := mat.New(r, 1)
-	sol := mat.New(r, 1)
 	tmp := make([]float64, r)
 	for it := 0; it < opts.MaxIters; it++ {
 		for m := 0; m < n; m++ {
-			updateModeObserved(x, views[m], factors, m, opts.Lambda, h, sys, rhs, sol, ws)
+			task.view, task.mode = views[m], m
+			pool.ForChunks(views[m].ChunkStarts(pool.Threads()), task)
 		}
 		res.Iters = it + 1
 		res.RMSE = rmseScratch(x, factors, tmp)
@@ -146,13 +162,37 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 	return res, nil
 }
 
-// updateModeObserved solves the per-row regularised normal equations of
-// one mode. h, sys, rhs, sol are scratch buffers sized R, RxR, Rx1,
-// Rx1; ws supplies the solver scratch.
-func updateModeObserved(x *tensor.Tensor, view *mttkrp.ModeView, factors []*mat.Dense, mode int, lambda float64, h []float64, sys, rhs, sol *mat.Dense, ws *mat.Workspace) {
+// modeRowsTask is the par.Body for one mode's sweep: row groups
+// [g0, g1) of the view, each solved with scratch checked out from the
+// running thread's workspace.
+type modeRowsTask struct {
+	x       *tensor.Tensor
+	view    *mttkrp.ModeView
+	factors []*mat.Dense
+	mode    int
+	lambda  float64
+	rank    int
+	wss     *mat.WorkspaceSet
+}
+
+func (t *modeRowsTask) RunChunk(g0, g1, tid int) {
+	ws := t.wss.At(tid)
+	mark := ws.Mark()
+	h := ws.TakeVec(t.rank)
+	sys := ws.Take(t.rank, t.rank)
+	rhs := ws.Take(t.rank, 1)
+	sol := ws.Take(t.rank, 1)
+	updateModeGroups(t.x, t.view, t.factors, t.mode, t.lambda, g0, g1, h, sys, rhs, sol, ws)
+	ws.Release(mark)
+}
+
+// updateModeGroups solves the per-row regularised normal equations for
+// the view's row groups [g0, g1). h, sys, rhs, sol are scratch buffers
+// sized R, RxR, Rx1, Rx1; ws supplies the solver scratch.
+func updateModeGroups(x *tensor.Tensor, view *mttkrp.ModeView, factors []*mat.Dense, mode int, lambda float64, g0, g1 int, h []float64, sys, rhs, sol *mat.Dense, ws *mat.Workspace) {
 	n := x.Order()
 	r := len(h)
-	for g := 0; g < view.NumRows(); g++ {
+	for g := g0; g < g1; g++ {
 		sys.Zero()
 		rhs.Zero()
 		for p := view.Starts[g]; p < view.Starts[g+1]; p++ {

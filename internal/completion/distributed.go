@@ -8,6 +8,7 @@ import (
 	"dismastd/internal/cluster"
 	"dismastd/internal/dplan"
 	"dismastd/internal/mat"
+	"dismastd/internal/par"
 	"dismastd/internal/partition"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
@@ -108,26 +109,33 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 		}
 	}
 
-	// Per-worker sweep scratch, allocated once.
-	ws := mat.NewWorkspace()
-	h := make([]float64, r)
-	sys := mat.New(r, r)
-	rhs := mat.New(r, 1)
-	sol := mat.New(r, 1)
+	// Per-worker sweep scratch, allocated once. Each worker runs its
+	// owned-row solves on its own pool; rows are fully independent (one
+	// normal system each), so the intra-worker parallelism neither
+	// reorders any floating-point sum nor shares a buffer across chunks.
+	pool := par.New(j.opts.Threads)
+	defer pool.Close()
+	wss := mat.NewWorkspaceSet(pool.Threads())
+	rt := &distRowsTask{j: j, x: x, full: full, rowEntries: rowEntries, wss: wss, rank: r}
+	// Per-mode work is fixed across sweeps; tally it once so the
+	// parallel chunks stay free of shared counters.
+	workPerMode := make([]float64, n)
+	for m := 0; m < n; m++ {
+		for _, row := range j.plan.OwnedSlices[m][me] {
+			if cnt := len(rowEntries[m][row]); cnt > 0 {
+				workPerMode[m] += float64(cnt)*float64(n+r)*float64(r) + float64(r*r*r)
+			}
+		}
+	}
 	tmp := make([]float64, r)
 	prev := math.Inf(1)
 	trace := make([]float64, 0, j.opts.MaxIters)
 	iters := 0
 	for sweep := 0; sweep < j.opts.MaxIters; sweep++ {
 		for m := 0; m < n; m++ {
-			for _, row := range j.plan.OwnedSlices[m][me] {
-				entries := rowEntries[m][row]
-				if len(entries) == 0 {
-					continue // unobserved row keeps its value, as centralized does
-				}
-				j.solveRow(x, full, m, int(row), entries, h, sys, rhs, sol, ws)
-				w.AddWork(float64(len(entries))*float64(n+r)*float64(r) + float64(r*r*r))
-			}
+			rt.mode, rt.owned = m, j.plan.OwnedSlices[m][me]
+			pool.For(len(rt.owned), rt)
+			w.AddWork(workPerMode[m])
 			if err := dplan.ExchangeRows(w, j.plan, m, full[m], false); err != nil {
 				return err
 			}
@@ -219,8 +227,40 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 	return nil
 }
 
+// distRowsTask is the par.Body for a worker's owned-row sweep of one
+// mode: indices [lo, hi) of the owned-slice list, each row solved with
+// scratch from the running thread's workspace.
+type distRowsTask struct {
+	j          *distJob
+	x          *tensor.Tensor
+	full       []*mat.Dense
+	rowEntries []map[int32][]int32
+	wss        *mat.WorkspaceSet
+	rank       int
+	mode       int
+	owned      []int32
+}
+
+func (t *distRowsTask) RunChunk(lo, hi, tid int) {
+	ws := t.wss.At(tid)
+	mark := ws.Mark()
+	h := ws.TakeVec(t.rank)
+	sys := ws.Take(t.rank, t.rank)
+	rhs := ws.Take(t.rank, 1)
+	sol := ws.Take(t.rank, 1)
+	for i := lo; i < hi; i++ {
+		row := t.owned[i]
+		entries := t.rowEntries[t.mode][row]
+		if len(entries) == 0 {
+			continue // unobserved row keeps its value, as centralized does
+		}
+		t.j.solveRow(t.x, t.full, t.mode, int(row), entries, h, sys, rhs, sol, ws)
+	}
+	ws.Release(mark)
+}
+
 // solveRow builds and solves one row's regularised normal system from
-// its observations — identical math to updateModeObserved.
+// its observations — identical math to updateModeGroups.
 func (j *distJob) solveRow(x *tensor.Tensor, full []*mat.Dense, mode, row int, entries []int32, h []float64, sys, rhs, sol *mat.Dense, ws *mat.Workspace) {
 	n := x.Order()
 	r := len(h)

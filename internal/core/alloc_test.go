@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"dismastd/internal/cluster"
@@ -21,9 +22,17 @@ import (
 // the global sum, so feeding it back through applyGramSums reproduces
 // the algorithm's state transitions exactly.
 func TestWorkerComputePathAllocFree(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		t.Run(fmt.Sprintf("threads=%d", threads), func(t *testing.T) {
+			testWorkerComputePathAllocFree(t, threads)
+		})
+	}
+}
+
+func testWorkerComputePathAllocFree(t *testing.T, threads int) {
 	full := sparseRandom([]int{12, 10, 8}, 600, 5)
 	prevSnap := full.Prefix([]int{9, 8, 6})
-	opts := Options{Rank: 3, MaxIters: 5, Mu: 0.7, Seed: 11, Workers: 1, Method: partition.GTPMethod}
+	opts := Options{Rank: 3, MaxIters: 5, Mu: 0.7, Seed: 11, Workers: 1, Threads: threads, Method: partition.GTPMethod}
 	prev, _, err := dtd.Init(prevSnap, dtd.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Mu: opts.Mu, Seed: opts.Seed})
 	if err != nil {
 		t.Fatal(err)
@@ -36,6 +45,7 @@ func TestWorkerComputePathAllocFree(t *testing.T) {
 	cl := cluster.NewLocal(1)
 	if _, err := cl.Run(func(w *cluster.Worker) error {
 		st := newWorkerState(job, w)
+		defer st.close()
 		n := len(st.full)
 		// Establish the replicated Gram state as RunWorker does; with a
 		// single worker the partial batch equals the reduced sum.

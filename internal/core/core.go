@@ -32,7 +32,9 @@ import (
 	"dismastd/internal/dplan"
 	"dismastd/internal/dtd"
 	"dismastd/internal/mat"
+	"dismastd/internal/mttkrp"
 	"dismastd/internal/obs"
+	"dismastd/internal/par"
 	"dismastd/internal/partition"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
@@ -49,6 +51,12 @@ type Options struct {
 	Workers int              // cluster size M (required, > 0)
 	Parts   int              // partitions per mode; default Workers
 	Method  partition.Method // GTP or MTP
+
+	// Threads sizes each worker's shared-memory pool: every rank runs
+	// its MTTKRP, row solves and Gram partials on Threads goroutines.
+	// 0 or 1 means sequential. Results are bitwise identical at every
+	// value (see internal/par).
+	Threads int
 
 	// BroadcastRows replaces the subscription-based row exchange with a
 	// full broadcast of every owner's rows (ablation baseline).
@@ -93,6 +101,12 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if opts.Parts <= 0 {
 		opts.Parts = opts.Workers
+	}
+	if opts.Threads < 0 {
+		return opts, fmt.Errorf("core: negative thread count %d", opts.Threads)
+	}
+	if opts.Threads == 0 {
+		opts.Threads = 1
 	}
 	return opts, nil
 }
@@ -310,7 +324,18 @@ type workerState struct {
 	lastM *mat.Dense   // final mode's MTTKRP, reused by the loss
 
 	ws  *mat.Workspace
-	tmp []float64 // per-entry product buffer (MTTKRP, naive loss)
+	tmp []float64 // per-entry product buffer (naive loss)
+
+	// Intra-worker parallel runtime: this rank's pool (nil when
+	// Threads <= 1), its per-thread workspaces, the pooled kernels,
+	// the row-grouped views of this rank's entry lists, and the
+	// persistent Gram-partials task. Closed by close().
+	pool   *par.Pool
+	wss    *mat.WorkspaceSet
+	pk     *mat.ParKernels
+	pacc   *mttkrp.ParAccumulator
+	views  []*mttkrp.ModeView
+	gpTask gramPartialsTask
 
 	d0, d1 *mat.Dense // Eq. (5) denominators
 	g0prod *mat.Dense // ∗_{k≠n} g0
@@ -342,7 +367,7 @@ type workerState struct {
 // phaseNames are one mode's span names, formatted once so per-sweep
 // tracing never builds strings.
 type phaseNames struct {
-	mttkrp, solve, allreduce, exchange string
+	mttkrp, chunk, solve, allreduce, exchange string
 }
 
 func newWorkerState(j *StepJob, w *cluster.Worker) *workerState {
@@ -355,6 +380,15 @@ func newWorkerState(j *StepJob, w *cluster.Worker) *workerState {
 		tmp:   make([]float64, r),
 		batch: make([]float64, 0, 3*r*r),
 		trace: make([]float64, 0, j.opts.MaxIters),
+		pool:  par.New(j.opts.Threads),
+	}
+	st.gpTask.st = st
+	st.wss = mat.NewWorkspaceSet(st.pool.Threads())
+	st.pk = mat.NewParKernels(st.pool, st.wss)
+	st.pacc = mttkrp.NewParAccumulator(st.pool, st.wss, w.Obs())
+	st.views = make([]*mttkrp.ModeView, n)
+	for m := 0; m < n; m++ {
+		st.views[m] = mttkrp.NewModeViewOf(j.plan.Tensor, m, j.plan.EntryLists[w.Rank()][m])
 	}
 	st.full = make([]*mat.Dense, n)
 	st.mbuf = make([]*mat.Dense, n)
@@ -394,6 +428,7 @@ func newWorkerState(j *StepJob, w *cluster.Worker) *workerState {
 	for m := 0; m < n; m++ {
 		st.names[m] = phaseNames{
 			mttkrp:    fmt.Sprintf("mode%d/mttkrp", m),
+			chunk:     fmt.Sprintf("mode%d/mttkrp.chunk", m),
 			solve:     fmt.Sprintf("mode%d/solve", m),
 			allreduce: fmt.Sprintf("mode%d/allreduce", m),
 			exchange:  fmt.Sprintf("mode%d/exchange", m),
@@ -405,10 +440,14 @@ func newWorkerState(j *StepJob, w *cluster.Worker) *workerState {
 	return st
 }
 
+// close releases the worker's pool goroutines.
+func (st *workerState) close() { st.pool.Close() }
+
 // RunWorker is the SPMD body executed by every rank. It must be called
 // exactly once per rank of a cluster of Workers() size.
 func (j *StepJob) RunWorker(w *cluster.Worker) error {
 	st := newWorkerState(j, w)
+	defer st.close()
 	n := len(j.init)
 	me := w.Rank()
 
@@ -491,39 +530,20 @@ func (j *StepJob) RunWorker(w *cluster.Worker) error {
 }
 
 // mttkrpMode zeroes the mode's MTTKRP buffer and accumulates this
-// worker's entries into it (flat kernel over the plan's per-mode entry
-// list), recording it as the loss's reusable lastM.
+// worker's entries into it via the row-grouped view of the plan's
+// per-mode entry list, chunked across the rank's pool, recording it as
+// the loss's reusable lastM. (The grouped kernel reproduces the flat
+// scatter bit-for-bit: each output row starts at +0 and its entries
+// accumulate in entry-list order.)
 func (st *workerState) mttkrpMode(mode int) {
 	j := st.job
 	M := st.mbuf[mode]
 	M.Zero()
 	comp := j.plan.Tensor
-	n := comp.Order()
-	r := M.Cols
-	tmp := st.tmp
-	entries := j.plan.EntryLists[st.w.Rank()][mode]
-	for _, e := range entries {
-		base := int(e) * n
-		v := comp.Vals[e]
-		for c := range tmp {
-			tmp[c] = v
-		}
-		for k := 0; k < n; k++ {
-			if k == mode {
-				continue
-			}
-			row := st.full[k].Row(int(comp.Coords[base+k]))
-			for c := range tmp {
-				tmp[c] *= row[c]
-			}
-		}
-		out := M.Row(int(comp.Coords[base+mode]))
-		for c := range tmp {
-			out[c] += tmp[c]
-		}
-	}
-	st.w.AddWork(float64(len(entries)) * float64(n) * float64(r))
-	st.cMttkrp.Add(int64(len(entries)))
+	st.pacc.Accumulate(M, st.views[mode], comp, st.full, st.names[mode].chunk)
+	nnz := st.views[mode].NNZ()
+	st.w.AddWork(float64(nnz) * float64(comp.Order()) * float64(M.Cols))
+	st.cMttkrp.Add(int64(nnz))
 	st.lastM = M
 }
 
@@ -577,7 +597,7 @@ func (st *workerState) updateOwnedRows(mode int) {
 			copy(tblock.Row(i), j.tilde[mode].Row(int(s)))
 		}
 		num := st.ws.Take(len(oldRows), r)
-		mat.MulInto(num, tblock, st.hprod)
+		st.pk.MulInto(num, tblock, st.hprod)
 		num.Scale(j.opts.Mu, num)
 		for i, s := range oldRows {
 			row := num.Row(i)
@@ -586,7 +606,7 @@ func (st *workerState) updateOwnedRows(mode int) {
 				row[c] += src[c]
 			}
 		}
-		mat.SolveRightRidgeInto(num, num, st.d0, st.ws)
+		st.pk.SolveRightRidgeInto(num, num, st.d0)
 		for i, s := range oldRows {
 			copy(factor.Row(int(s)), num.Row(i))
 		}
@@ -596,7 +616,7 @@ func (st *workerState) updateOwnedRows(mode int) {
 		for i, s := range newRows {
 			copy(num.Row(i), M.Row(int(s)))
 		}
-		mat.SolveRightRidgeInto(num, num, st.d1, st.ws)
+		st.pk.SolveRightRidgeInto(num, num, st.d1)
 		for i, s := range newRows {
 			copy(factor.Row(int(s)), num.Row(i))
 		}
@@ -611,27 +631,17 @@ func (st *workerState) updateOwnedRows(mode int) {
 
 // gramPartials computes this worker's partial ÃᵀA⁰, A⁰ᵀA⁰, A¹ᵀA¹ over
 // its owned rows into the persistent partial matrices and packs them
-// into the batch payload.
+// into the batch payload. The three R×R partials are computed with
+// their rows chunked across the rank's pool; every chunk scans the
+// owned rows in order, so each partial entry accumulates exactly the
+// sequential sequence.
 func (st *workerState) gramPartials(mode int) {
 	j := st.job
-	factor := st.full[mode]
-	r := factor.Cols
-	old := j.oldDims[mode]
-	st.g0p.Zero()
-	st.g1p.Zero()
-	st.crossp.Zero()
+	r := st.full[mode].Cols
+	st.gpTask.mode = mode
+	st.pool.For(r, &st.gpTask)
+	oldRows := len(st.ownedOld[mode])
 	owned := j.plan.OwnedSlices[mode][st.w.Rank()]
-	oldRows := 0
-	for _, s := range owned {
-		row := factor.Row(int(s))
-		if int(s) < old {
-			accumOuter(st.g0p, row, row)
-			accumOuter(st.crossp, j.tilde[mode].Row(int(s)), row)
-			oldRows++
-		} else {
-			accumOuter(st.g1p, row, row)
-		}
-	}
 	// Old rows contribute two outer products (G⁰ and the cross term),
 	// new rows one.
 	st.w.AddWork((2*float64(oldRows) + float64(len(owned)-oldRows)) * float64(r) * float64(r))
@@ -640,6 +650,64 @@ func (st *workerState) gramPartials(mode int) {
 	st.batch = append(st.batch, st.g0p.Data...)
 	st.batch = append(st.batch, st.g1p.Data...)
 	st.batch = append(st.batch, st.crossp.Data...)
+}
+
+// gramPartialsTask evaluates rows [lo, hi) of the mode's three Gram
+// partials (the sequential outer-product loop transposed so output
+// rows, not input rows, are the parallel axis).
+type gramPartialsTask struct {
+	st   *workerState
+	mode int
+}
+
+func (t *gramPartialsTask) RunChunk(lo, hi, tid int) {
+	st := t.st
+	j := st.job
+	factor := st.full[t.mode]
+	tilde := j.tilde[t.mode]
+	old := j.oldDims[t.mode]
+	for i := lo; i < hi; i++ {
+		zeroRow(st.g0p.Row(i))
+		zeroRow(st.g1p.Row(i))
+		zeroRow(st.crossp.Row(i))
+	}
+	for _, s := range j.plan.OwnedSlices[t.mode][st.w.Rank()] {
+		row := factor.Row(int(s))
+		if int(s) < old {
+			trow := tilde.Row(int(s))
+			for i := lo; i < hi; i++ {
+				if av := row[i]; av != 0 {
+					drow := st.g0p.Row(i)
+					for c, bv := range row {
+						drow[c] += av * bv
+					}
+				}
+				if tv := trow[i]; tv != 0 {
+					drow := st.crossp.Row(i)
+					for c, bv := range row {
+						drow[c] += tv * bv
+					}
+				}
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				av := row[i]
+				if av == 0 {
+					continue
+				}
+				drow := st.g1p.Row(i)
+				for c, bv := range row {
+					drow[c] += av * bv
+				}
+			}
+		}
+	}
+}
+
+func zeroRow(row []float64) {
+	for i := range row {
+		row[i] = 0
+	}
 }
 
 // applyGramSums unpacks a reduced 3R² vector into the mode's replicated
@@ -663,19 +731,6 @@ func (st *workerState) reduceGrams(mode int) error {
 	}
 	st.applyGramSums(mode, sum)
 	return nil
-}
-
-// accumOuter adds aᵀb (outer product of two row vectors) into dst.
-func accumOuter(dst *mat.Dense, a, b []float64) {
-	for i, av := range a {
-		if av == 0 {
-			continue
-		}
-		row := dst.Row(i)
-		for c, bv := range b {
-			row[c] += av * bv
-		}
-	}
 }
 
 // loss evaluates √L of Eq. (4): the local inner-product term, one

@@ -21,6 +21,7 @@ import (
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
 	"dismastd/internal/obs"
+	"dismastd/internal/par"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
 )
@@ -32,8 +33,14 @@ type Options struct {
 	Tol      float64 // stop when the relative fit change falls below Tol; default 1e-6
 	Seed     uint64  // factor initialisation seed; default 1
 
+	// Threads sizes the shared-memory pool the sweep kernels run on.
+	// 0 or 1 means sequential. Results are bitwise identical at every
+	// value (see internal/par).
+	Threads int
+
 	// Obs receives the run's phase spans (modeN/mttkrp, modeN/solve,
-	// modeN/gram, loss). May be nil.
+	// modeN/gram, loss, and per-chunk modeN/mttkrp.chunk spans when
+	// Threads > 1). May be nil.
 	Obs *obs.Obs
 }
 
@@ -53,6 +60,12 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if opts.Seed == 0 {
 		opts.Seed = 1
+	}
+	if opts.Threads < 0 {
+		return opts, fmt.Errorf("cp: negative thread count %d", opts.Threads)
+	}
+	if opts.Threads == 0 {
+		opts.Threads = 1
 	}
 	return opts, nil
 }
@@ -113,8 +126,14 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 
 	// Everything the sweep loop needs is allocated here, once: factor
 	// updates, Gram refreshes and the loss all run in place, so the
-	// steady-state iteration performs zero heap allocations.
-	ws := mat.NewWorkspace()
+	// steady-state iteration performs zero heap allocations. The pool
+	// and its per-thread workspaces live for the whole run; with
+	// Threads <= 1 the pool is nil and every kernel runs inline.
+	pool := par.New(opts.Threads)
+	defer pool.Close()
+	wss := mat.NewWorkspaceSet(pool.Threads())
+	pk := mat.NewParKernels(pool, wss)
+	pacc := mttkrp.NewParAccumulator(pool, wss, opts.Obs)
 	grams := make([]*mat.Dense, n)
 	for m := range factors {
 		grams[m] = mat.Gram(factors[m])
@@ -130,9 +149,10 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 
 	// Per-mode span names, formatted once so the sweep loop never builds
 	// strings; every handle is nil-safe when opts.Obs is unset.
-	names := make([]struct{ mttkrp, solve, gram string }, n)
+	names := make([]struct{ mttkrp, chunk, solve, gram string }, n)
 	for m := 0; m < n; m++ {
 		names[m].mttkrp = fmt.Sprintf("mode%d/mttkrp", m)
+		names[m].chunk = fmt.Sprintf("mode%d/mttkrp.chunk", m)
 		names[m].solve = fmt.Sprintf("mode%d/solve", m)
 		names[m].gram = fmt.Sprintf("mode%d/gram", m)
 	}
@@ -147,15 +167,15 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 			sp := opts.Obs.Span(names[m].mttkrp)
 			M := mbuf[m]
 			M.Zero()
-			views[m].AccumulateIntoWS(M, x, factors, ws)
+			pacc.Accumulate(M, views[m], x, factors, names[m].chunk)
 			cRows.Add(int64(x.NNZ()))
 			sp.End()
 			sp = opts.Obs.Span(names[m].solve)
 			hadamardExceptInto(denom, grams, m)
-			mat.SolveRightRidgeInto(factors[m], M, denom, ws)
+			pk.SolveRightRidgeInto(factors[m], M, denom)
 			sp.End()
 			sp = opts.Obs.Span(names[m].gram)
-			mat.GramInto(grams[m], factors[m])
+			pk.GramInto(grams[m], factors[m])
 			sp.End()
 			lastM = M
 		}

@@ -21,6 +21,8 @@ import (
 	"dismastd/internal/cluster"
 	"dismastd/internal/dplan"
 	"dismastd/internal/mat"
+	"dismastd/internal/mttkrp"
+	"dismastd/internal/par"
 	"dismastd/internal/partition"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
@@ -36,6 +38,11 @@ type Options struct {
 	Workers int              // cluster size M (required, > 0)
 	Parts   int              // partitions per mode; default Workers
 	Method  partition.Method // GTP or MTP
+
+	// Threads sizes each worker's shared-memory pool (see internal/par).
+	// 0 or 1 means sequential; results are bitwise identical at every
+	// value.
+	Threads int
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -60,6 +67,12 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if opts.Parts <= 0 {
 		opts.Parts = opts.Workers
+	}
+	if opts.Threads < 0 {
+		return opts, fmt.Errorf("dmsmg: negative thread count %d", opts.Threads)
+	}
+	if opts.Threads == 0 {
+		opts.Threads = 1
 	}
 	return opts, nil
 }
@@ -150,9 +163,20 @@ func (j *job) runWorker(w *cluster.Worker) error {
 
 	// Everything the sweep loop needs is allocated here, once; the
 	// steady-state iteration allocates only inside the transport
-	// collectives.
+	// collectives. The pool and its per-thread workspaces live for the
+	// whole run; with Threads <= 1 the pool is nil and every kernel
+	// runs inline.
+	pool := par.New(j.opts.Threads)
+	defer pool.Close()
+	wss := mat.NewWorkspaceSet(pool.Threads())
+	pk := mat.NewParKernels(pool, wss)
+	pacc := mttkrp.NewParAccumulator(pool, wss, nil)
+	views := make([]*mttkrp.ModeView, n)
+	for m := 0; m < n; m++ {
+		views[m] = mttkrp.NewModeViewOf(x, m, j.plan.EntryLists[w.Rank()][m])
+	}
+	gt := &gramRowsTask{j: j, w: w}
 	ws := mat.NewWorkspace()
-	tmp := make([]float64, r)
 	full := make([]*mat.Dense, n)
 	for m := range full {
 		full[m] = j.init[m].Clone()
@@ -163,7 +187,7 @@ func (j *job) runWorker(w *cluster.Worker) error {
 	}
 	gp := mat.New(r, r) // local Gram partial
 	for m := 0; m < n; m++ {
-		if err := j.reduceGram(w, m, full[m], grams[m], gp); err != nil {
+		if err := j.reduceGram(w, pool, gt, m, full[m], grams[m], gp); err != nil {
 			return err
 		}
 	}
@@ -183,12 +207,12 @@ func (j *job) runWorker(w *cluster.Worker) error {
 		for m := 0; m < n; m++ {
 			M := mbuf[m]
 			M.Zero()
-			j.localMTTKRP(w, M, m, full, tmp)
+			j.localMTTKRP(w, pacc, views[m], M, m, full)
 
 			hadamardExceptInto(denom, grams, m)
-			j.updateOwnedRows(w, m, full[m], M, denom, ws)
+			j.updateOwnedRows(w, pk, m, full[m], M, denom, ws)
 
-			if err := j.reduceGram(w, m, full[m], grams[m], gp); err != nil {
+			if err := j.reduceGram(w, pool, gt, m, full[m], grams[m], gp); err != nil {
 				return err
 			}
 			if err := dplan.ExchangeRows(w, j.plan, m, full[m], false); err != nil {
@@ -245,35 +269,17 @@ func (j *job) runWorker(w *cluster.Worker) error {
 	return nil
 }
 
-func (j *job) localMTTKRP(w *cluster.Worker, M *mat.Dense, mode int, full []*mat.Dense, tmp []float64) {
+// localMTTKRP accumulates this worker's entry subset into M via the
+// row-grouped parallel kernel. The view groups the rank's entry list by
+// output row, so chunks never share a destination row and the result is
+// bitwise identical to the flat scatter at every thread count.
+func (j *job) localMTTKRP(w *cluster.Worker, pacc *mttkrp.ParAccumulator, view *mttkrp.ModeView, M *mat.Dense, mode int, full []*mat.Dense) {
 	x := j.plan.Tensor
-	n := x.Order()
-	r := M.Cols
-	entries := j.plan.EntryLists[w.Rank()][mode]
-	for _, e := range entries {
-		base := int(e) * n
-		v := x.Vals[e]
-		for c := range tmp {
-			tmp[c] = v
-		}
-		for k := 0; k < n; k++ {
-			if k == mode {
-				continue
-			}
-			row := full[k].Row(int(x.Coords[base+k]))
-			for c := range tmp {
-				tmp[c] *= row[c]
-			}
-		}
-		out := M.Row(int(x.Coords[base+mode]))
-		for c := range tmp {
-			out[c] += tmp[c]
-		}
-	}
-	w.AddWork(float64(len(entries)) * float64(n) * float64(r))
+	pacc.Accumulate(M, view, x, full, "")
+	w.AddWork(float64(view.NNZ()) * float64(x.Order()) * float64(M.Cols))
 }
 
-func (j *job) updateOwnedRows(w *cluster.Worker, mode int, factor, M, denom *mat.Dense, ws *mat.Workspace) {
+func (j *job) updateOwnedRows(w *cluster.Worker, pk *mat.ParKernels, mode int, factor, M, denom *mat.Dense, ws *mat.Workspace) {
 	r := factor.Cols
 	owned := j.plan.OwnedSlices[mode][w.Rank()]
 	if len(owned) == 0 {
@@ -284,7 +290,7 @@ func (j *job) updateOwnedRows(w *cluster.Worker, mode int, factor, M, denom *mat
 	for i, s := range owned {
 		copy(num.Row(i), M.Row(int(s)))
 	}
-	mat.SolveRightRidgeInto(num, num, denom, ws)
+	pk.SolveRightRidgeInto(num, num, denom)
 	for i, s := range owned {
 		copy(factor.Row(int(s)), num.Row(i))
 	}
@@ -295,23 +301,16 @@ func (j *job) updateOwnedRows(w *cluster.Worker, mode int, factor, M, denom *mat
 
 // reduceGram accumulates this worker's Gram partial over its owned rows
 // into the scratch matrix g, all-reduces it, and refreshes gram in
-// place with the cluster-wide sum.
-func (j *job) reduceGram(w *cluster.Worker, mode int, factor, gram, g *mat.Dense) error {
+// place with the cluster-wide sum. The accumulation is partitioned over
+// the partial's output rows; every chunk scans the owned rows in the
+// same order, so each output entry sees the sequential accumulation
+// order and the partial is bitwise thread-count independent.
+func (j *job) reduceGram(w *cluster.Worker, pool *par.Pool, gt *gramRowsTask, mode int, factor, gram, g *mat.Dense) error {
 	r := factor.Cols
-	g.Zero()
+	gt.mode, gt.factor, gt.g = mode, factor, g
+	pool.For(r, gt)
+	gt.factor, gt.g = nil, nil
 	owned := j.plan.OwnedSlices[mode][w.Rank()]
-	for _, s := range owned {
-		row := factor.Row(int(s))
-		for i, av := range row {
-			if av == 0 {
-				continue
-			}
-			dst := g.Row(i)
-			for c, bv := range row {
-				dst[c] += av * bv
-			}
-		}
-	}
 	w.AddWork(float64(len(owned)) * float64(r) * float64(r))
 	sum, err := w.AllReduceSum(g.Data)
 	if err != nil {
@@ -319,6 +318,40 @@ func (j *job) reduceGram(w *cluster.Worker, mode int, factor, gram, g *mat.Dense
 	}
 	copy(gram.Data, sum)
 	return nil
+}
+
+// gramRowsTask is the par.Body for reduceGram: rows [lo, hi) of the
+// local Gram partial, zeroed then accumulated over the rank's owned
+// factor rows in plan order.
+type gramRowsTask struct {
+	j      *job
+	w      *cluster.Worker
+	mode   int
+	factor *mat.Dense
+	g      *mat.Dense
+}
+
+func (t *gramRowsTask) RunChunk(lo, hi, tid int) {
+	owned := t.j.plan.OwnedSlices[t.mode][t.w.Rank()]
+	for i := lo; i < hi; i++ {
+		row := t.g.Row(i)
+		for c := range row {
+			row[c] = 0
+		}
+	}
+	for _, s := range owned {
+		row := t.factor.Row(int(s))
+		for i := lo; i < hi; i++ {
+			av := row[i]
+			if av == 0 {
+				continue
+			}
+			dst := t.g.Row(i)
+			for c, bv := range row {
+				dst[c] += av * bv
+			}
+		}
+	}
 }
 
 func (j *job) gatherResult(w *cluster.Worker, full []*mat.Dense) error {

@@ -26,6 +26,7 @@ import (
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
 	"dismastd/internal/obs"
+	"dismastd/internal/par"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
 )
@@ -37,6 +38,11 @@ type Options struct {
 	Tol      float64 // stop when the relative loss change falls below Tol; default 1e-6
 	Mu       float64 // forgetting factor μ in (0, 1]; default 0.8 (the paper's setting)
 	Seed     uint64  // growth-block initialisation seed; default 1
+
+	// Threads sizes the shared-memory pool the sweep kernels run on.
+	// 0 or 1 means sequential. Results are bitwise identical at every
+	// value (see internal/par).
+	Threads int
 
 	// Obs receives the step's phase spans and counters. May be nil; all
 	// handles are nil-safe, so instrumentation costs nothing when unset.
@@ -66,6 +72,12 @@ func (o *Options) withDefaults() (Options, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if opts.Threads < 0 {
+		return opts, fmt.Errorf("dtd: negative thread count %d", opts.Threads)
+	}
+	if opts.Threads == 0 {
+		opts.Threads = 1
+	}
 	return opts, nil
 }
 
@@ -88,9 +100,9 @@ func (s *State) Clone() *State {
 // Stats reports what one streaming step did.
 type Stats struct {
 	Iters         int
-	Loss          float64   // final √L of Eq. (4)
-	LossTrace     []float64 // loss after each sweep
-	ComplementNNZ int       // nnz(X \ X̃) — the data the step touched
+	Loss          float64         // final √L of Eq. (4)
+	LossTrace     []float64       // loss after each sweep
+	ComplementNNZ int             // nnz(X \ X̃) — the data the step touched
 	Phases        []obs.PhaseStat // per-phase wall time, when Options.Obs is set
 }
 
@@ -105,7 +117,7 @@ func Init(x *tensor.Tensor, o Options) (*State, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := cp.Decompose(x, cp.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Seed: opts.Seed, Obs: opts.Obs})
+	res, err := cp.Decompose(x, cp.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Seed: opts.Seed, Threads: opts.Threads, Obs: opts.Obs})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -140,7 +152,9 @@ func Step(prev *State, snapshot *tensor.Tensor, o Options) (*State, *Stats, erro
 		full[m] = mat.StackRows(prev.Factors[m], growth)
 	}
 
-	it := newIteration(prev, comp, full, oldDims, opts)
+	pool := par.New(opts.Threads)
+	defer pool.Close()
+	it := newIteration(prev, comp, full, oldDims, opts, pool)
 	stats := &Stats{ComplementNNZ: comp.NNZ(), LossTrace: make([]float64, 0, opts.MaxIters)}
 	prevLoss := math.Inf(1)
 	for sweep := 0; sweep < opts.MaxIters; sweep++ {
@@ -218,6 +232,14 @@ type iteration struct {
 	sum      *mat.Dense   // gram0[k]+gram1[k] scratch
 	fullG    []*mat.Dense // per-mode gram0+gram1, rebuilt by loss()
 
+	// Parallel runtime: the step's pool, one workspace per pool
+	// thread, and the pooled kernel/accumulator front-ends. With
+	// Threads <= 1 the pool is nil and everything runs inline.
+	pool *par.Pool
+	wss  *mat.WorkspaceSet
+	pk   *mat.ParKernels
+	pacc *mttkrp.ParAccumulator
+
 	// Instrumentation, pre-resolved so sweeps stay allocation-free: one
 	// span-name set per mode plus the MTTKRP row counter. May be nil.
 	obs     *obs.Obs
@@ -227,10 +249,10 @@ type iteration struct {
 
 // sweepNames are one mode's span names, formatted once at construction.
 type sweepNames struct {
-	mttkrp, solve, gram string
+	mttkrp, chunk, solve, gram string
 }
 
-func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims []int, opts Options) *iteration {
+func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims []int, opts Options, pool *par.Pool) *iteration {
 	n := len(full)
 	r := opts.Rank
 	it := &iteration{
@@ -241,7 +263,11 @@ func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims [
 		comp:       comp,
 		compNormSq: comp.NormSq(),
 		ws:         mat.NewWorkspace(),
+		pool:       pool,
 	}
+	it.wss = mat.NewWorkspaceSet(pool.Threads())
+	it.pk = mat.NewParKernels(pool, it.wss)
+	it.pacc = mttkrp.NewParAccumulator(pool, it.wss, opts.Obs)
 	gramsTilde := make([]*mat.Dense, n)
 	for m := 0; m < n; m++ {
 		gramsTilde[m] = mat.Gram(prev.Factors[m])
@@ -279,6 +305,7 @@ func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims [
 	for m := 0; m < n; m++ {
 		it.names[m] = sweepNames{
 			mttkrp: fmt.Sprintf("mode%d/mttkrp", m),
+			chunk:  fmt.Sprintf("mode%d/mttkrp.chunk", m),
 			solve:  fmt.Sprintf("mode%d/solve", m),
 			gram:   fmt.Sprintf("mode%d/gram", m),
 		}
@@ -291,9 +318,9 @@ func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims [
 }
 
 func (it *iteration) refreshGrams(m int) {
-	mat.GramInto(it.gram0[m], it.a0v[m])
-	mat.GramInto(it.gram1[m], it.a1v[m])
-	mat.CrossGramInto(it.cross[m], it.tilde[m], it.a0v[m])
+	it.pk.GramInto(it.gram0[m], it.a0v[m])
+	it.pk.GramInto(it.gram1[m], it.a1v[m])
+	it.pk.CrossGramInto(it.cross[m], it.tilde[m], it.a0v[m])
 }
 
 // denominators fills d1 = ∗_{k≠mode}(gram0+gram1), g0prod =
@@ -332,7 +359,7 @@ func (it *iteration) sweep() {
 		sp := it.obs.Span(it.names[m].mttkrp)
 		M := it.mbuf[m]
 		M.Zero()
-		it.views[m].AccumulateIntoWS(M, it.comp, it.full, it.ws)
+		it.pacc.Accumulate(M, it.views[m], it.comp, it.full, it.names[m].chunk)
 		it.cMttkrp.Add(int64(it.comp.NNZ()))
 		sp.End()
 
@@ -343,12 +370,12 @@ func (it *iteration) sweep() {
 
 		mark := it.ws.Mark()
 		num0 := it.ws.Take(it.oldDims[m], r)
-		mat.MulInto(num0, it.tilde[m], it.hprod)
+		it.pk.MulInto(num0, it.tilde[m], it.hprod)
 		num0.Scale(it.opts.Mu, num0)
 		num0.AddScaled(1, it.m0v[m])
 
-		mat.SolveRightRidgeInto(it.a0v[m], num0, it.d0, it.ws)
-		mat.SolveRightRidgeInto(it.a1v[m], it.m1v[m], it.d1, it.ws)
+		it.pk.SolveRightRidgeInto(it.a0v[m], num0, it.d0)
+		it.pk.SolveRightRidgeInto(it.a1v[m], it.m1v[m], it.d1)
 		it.ws.Release(mark)
 		sp.End()
 

@@ -1,0 +1,211 @@
+package mat
+
+// Parallel execution support for the dense kernels. Everything here
+// follows the deterministic-reduction rule of the par runtime: a
+// parallel kernel partitions the OUTPUT elements (rows of the result)
+// across chunks and keeps the per-element accumulation order of the
+// sequential kernel, so the bits produced are identical for every
+// thread count — including the sequential nil-pool path, which runs
+// the exact pre-refactor loop.
+
+import (
+	"fmt"
+
+	"dismastd/internal/par"
+)
+
+// WorkspaceSet is the per-thread arena facility: one Workspace per
+// pool thread, indexed by the tid a par.Body chunk runs as. The set
+// preserves the zero-alloc steady state — each thread's scratch
+// checkouts are positional within its own arena, so after warm-up no
+// chunk allocates regardless of which pool worker executes it (tid,
+// not goroutine identity, selects the arena, and chunk→tid assignment
+// is static).
+type WorkspaceSet struct {
+	ws []*Workspace
+}
+
+// NewWorkspaceSet returns n fresh workspaces, one per pool thread
+// (pool.Threads() of them).
+func NewWorkspaceSet(n int) *WorkspaceSet {
+	if n < 1 {
+		panic(fmt.Sprintf("mat: NewWorkspaceSet(%d)", n))
+	}
+	s := &WorkspaceSet{ws: make([]*Workspace, n)}
+	for i := range s.ws {
+		s.ws[i] = NewWorkspace()
+	}
+	return s
+}
+
+// At returns thread tid's workspace.
+func (s *WorkspaceSet) At(tid int) *Workspace { return s.ws[tid] }
+
+// Len reports the number of per-thread workspaces.
+func (s *WorkspaceSet) Len() int { return len(s.ws) }
+
+// AccumulateCrossGramRows adds rows [lo, hi) of AᵀB into the same rows
+// of dst: dst[r][c] += Σ_i a[i][r]·b[i][c] for r in the range, scanning
+// input rows in ascending order exactly like AccumulateCrossGram — the
+// accumulation order per output entry is independent of the range
+// split, so chunked evaluation reproduces the sequential bits.
+func AccumulateCrossGramRows(dst, a, b *Dense, lo, hi int) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: AccumulateCrossGramRows row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("mat: AccumulateCrossGramRows destination shape mismatch")
+	}
+	if lo < 0 || hi > dst.Rows || lo > hi {
+		panic(fmt.Sprintf("mat: AccumulateCrossGramRows range [%d, %d) of %d rows", lo, hi, dst.Rows))
+	}
+	mustDisjoint("AccumulateCrossGramRows", dst, a)
+	mustDisjoint("AccumulateCrossGramRows", dst, b)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for r := lo; r < hi; r++ {
+			av := arow[r]
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(r)
+			for c, bv := range brow {
+				drow[c] += av * bv
+			}
+		}
+	}
+}
+
+// MulRowsInto computes rows [lo, hi) of A·B into the same rows of dst,
+// zeroing them first. Each output row depends only on the matching row
+// of A, so disjoint ranges are independent and bitwise identical to
+// MulInto's sequential loop.
+func MulRowsInto(dst, a, b *Dense, lo, hi int) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulRowsInto destination %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if lo < 0 || hi > dst.Rows || lo > hi {
+		panic(fmt.Sprintf("mat: MulRowsInto range [%d, %d) of %d rows", lo, hi, dst.Rows))
+	}
+	mustDisjoint("MulRowsInto", dst, a)
+	mustDisjoint("MulRowsInto", dst, b)
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// ParKernels bundles the pooled variants of the dense kernels the ALS
+// drivers run per sweep: Gram/CrossGram refreshes, the numerator
+// matmul, and the Eq. (5) right-solve. One ParKernels is owned by one
+// driver (one goroutine); the task structs live on it so steady-state
+// dispatch allocates nothing. With a nil pool every method degrades to
+// the sequential kernel, bit-for-bit.
+type ParKernels struct {
+	pool *par.Pool
+	wss  *WorkspaceSet
+	l    *Dense // cached ridge-Cholesky factor, reused across solves
+
+	gram  crossGramRowsTask
+	mul   mulRowsTask
+	solve solveRangeTask
+}
+
+// NewParKernels binds the kernels to a pool and its per-thread
+// workspaces. wss must have at least pool.Threads() workspaces.
+func NewParKernels(pool *par.Pool, wss *WorkspaceSet) *ParKernels {
+	if wss.Len() < pool.Threads() {
+		panic(fmt.Sprintf("mat: ParKernels with %d workspaces for %d threads", wss.Len(), pool.Threads()))
+	}
+	return &ParKernels{pool: pool, wss: wss}
+}
+
+// crossGramRowsTask evaluates a row range of AᵀB (zero + accumulate).
+type crossGramRowsTask struct {
+	dst, a, b *Dense
+}
+
+func (t *crossGramRowsTask) RunChunk(lo, hi, tid int) {
+	for r := lo; r < hi; r++ {
+		row := t.dst.Row(r)
+		for c := range row {
+			row[c] = 0
+		}
+	}
+	AccumulateCrossGramRows(t.dst, t.a, t.b, lo, hi)
+}
+
+// CrossGramInto computes AᵀB into dst with output rows chunked across
+// the pool.
+func (k *ParKernels) CrossGramInto(dst, a, b *Dense) {
+	k.gram = crossGramRowsTask{dst: dst, a: a, b: b}
+	k.pool.For(dst.Rows, &k.gram)
+}
+
+// GramInto computes AᵀA into dst with output rows chunked across the
+// pool.
+func (k *ParKernels) GramInto(dst, a *Dense) { k.CrossGramInto(dst, a, a) }
+
+// mulRowsTask evaluates a row range of A·B.
+type mulRowsTask struct {
+	dst, a, b *Dense
+}
+
+func (t *mulRowsTask) RunChunk(lo, hi, tid int) { MulRowsInto(t.dst, t.a, t.b, lo, hi) }
+
+// MulInto computes A·B into dst with output rows chunked across the
+// pool.
+func (k *ParKernels) MulInto(dst, a, b *Dense) {
+	k.mul = mulRowsTask{dst: dst, a: a, b: b}
+	k.pool.For(a.Rows, &k.mul)
+}
+
+// solveRangeTask applies a shared Cholesky factor to a row range, each
+// chunk staging through its own thread's workspace.
+type solveRangeTask struct {
+	dst, m, l *Dense
+	wss       *WorkspaceSet
+}
+
+func (t *solveRangeTask) RunChunk(lo, hi, tid int) {
+	SolveRightFactoredRange(t.dst, t.m, t.l, lo, hi, t.wss.At(tid))
+}
+
+// SolveRightRidgeInto computes M · D⁻¹ into dst with the same ridge
+// fallback and aliasing contract as mat.SolveRightRidgeInto: the
+// factorisation runs once on the caller, then the row solves are
+// chunked across the pool. Each result row's bits depend only on its
+// row of M and the shared factor, so the output is identical at every
+// thread count.
+func (k *ParKernels) SolveRightRidgeInto(dst, m, d *Dense) {
+	if d.Rows != d.Cols || m.Cols != d.Rows {
+		panic(fmt.Sprintf("mat: SolveRightRidge dimension mismatch %dx%d · inv(%dx%d)", m.Rows, m.Cols, d.Rows, d.Cols))
+	}
+	if dst.Rows != m.Rows || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("mat: SolveRightRidgeInto destination %dx%d, want %dx%d", dst.Rows, dst.Cols, m.Rows, m.Cols))
+	}
+	mustDisjoint("SolveRightRidgeInto", dst, d)
+	mustElementwiseAlias("SolveRightRidgeInto", dst, m)
+	if k.l == nil || k.l.Rows != d.Rows {
+		k.l = New(d.Rows, d.Rows)
+	}
+	RidgeCholeskyInto(k.l, d, k.wss.At(0))
+	k.solve = solveRangeTask{dst: dst, m: m, l: k.l, wss: k.wss}
+	k.pool.For(m.Rows, &k.solve)
+}

@@ -160,6 +160,24 @@ func SolveRightRidgeInto(dst, m, d *Dense, ws *Workspace) {
 	}
 	mustDisjoint("SolveRightRidgeInto", dst, d)
 	mustElementwiseAlias("SolveRightRidgeInto", dst, m)
+	mark := ws.Mark()
+	defer ws.Release(mark)
+	l := ws.Take(d.Rows, d.Rows)
+	RidgeCholeskyInto(l, d, ws)
+	SolveRightFactoredRange(dst, m, l, 0, m.Rows, ws)
+}
+
+// RidgeCholeskyInto factorises D (with the ridge fallback described on
+// SolveRightRidge) into the lower-triangular l, taking the regularised
+// copy of D from ws. l must be d.Rows x d.Rows and must not alias d.
+// The factor is the shared input of SolveRightFactoredRange, letting
+// one factorisation serve many (possibly concurrent) row-range solves.
+// ws is released to its entry mark before returning.
+func RidgeCholeskyInto(l, d *Dense, ws *Workspace) {
+	if d.Rows != d.Cols {
+		panic(fmt.Sprintf("mat: RidgeCholesky of non-square %dx%d", d.Rows, d.Cols))
+	}
+	mustDisjoint("RidgeCholeskyInto", l, d)
 	n := d.Rows
 	tr := 0.0
 	for i := 0; i < n; i++ {
@@ -171,17 +189,10 @@ func SolveRightRidgeInto(dst, m, d *Dense, ws *Workspace) {
 	mark := ws.Mark()
 	defer ws.Release(mark)
 	work := ws.Take(n, n)
-	l := ws.Take(n, n)
-	xt := ws.Take(m.Cols, m.Rows)
 	work.CopyFrom(d)
 	ridge := 0.0
 	for attempt := 0; ; attempt++ {
-		err := CholeskyInto(l, work)
-		if err == nil {
-			// Solve D Xᵀ = Mᵀ, i.e. X = M·D⁻¹ using D's symmetry.
-			TransposeInto(xt, m)
-			choleskySolveInPlace(l, xt)
-			TransposeInto(dst, xt)
+		if err := CholeskyInto(l, work); err == nil {
 			return
 		}
 		if attempt > 60 {
@@ -195,6 +206,49 @@ func SolveRightRidgeInto(dst, m, d *Dense, ws *Workspace) {
 		work.CopyFrom(d)
 		for i := 0; i < n; i++ {
 			work.Set(i, i, work.At(i, i)+ridge)
+		}
+	}
+}
+
+// SolveRightFactoredRange computes rows [lo, hi) of M · D⁻¹ into the
+// same rows of dst, given D's (ridge-)Cholesky factor l. It solves
+// D Xᵀ = Mᵀ column-by-column using D's symmetry, so each row of the
+// result depends only on the matching row of M and on l — disjoint row
+// ranges solved with separate workspaces are independent, and because
+// the triangular substitutions touch each column separately the bits
+// produced for a row do not depend on which range it belongs to. dst
+// may alias m exactly (the rows are staged through ws scratch) but
+// must not alias l. ws is released to its entry mark before returning.
+func SolveRightFactoredRange(dst, m, l *Dense, lo, hi int, ws *Workspace) {
+	if l.Rows != l.Cols || m.Cols != l.Rows {
+		panic(fmt.Sprintf("mat: SolveRightFactoredRange dimension mismatch %dx%d · inv(%dx%d)", m.Rows, m.Cols, l.Rows, l.Cols))
+	}
+	if dst.Rows != m.Rows || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("mat: SolveRightFactoredRange destination %dx%d, want %dx%d", dst.Rows, dst.Cols, m.Rows, m.Cols))
+	}
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("mat: SolveRightFactoredRange range [%d, %d) of %d rows", lo, hi, m.Rows))
+	}
+	mustDisjoint("SolveRightFactoredRange", dst, l)
+	mustElementwiseAlias("SolveRightFactoredRange", dst, m)
+	if lo == hi {
+		return
+	}
+	w := hi - lo
+	mark := ws.Mark()
+	defer ws.Release(mark)
+	xt := ws.Take(m.Cols, w)
+	for i := lo; i < hi; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			xt.Data[j*w+(i-lo)] = v
+		}
+	}
+	choleskySolveInPlace(l, xt)
+	for i := lo; i < hi; i++ {
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = xt.Data[j*w+(i-lo)]
 		}
 	}
 }

@@ -68,6 +68,28 @@ func AccumulateIntoWS(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, mo
 	ws.Release(mark)
 }
 
+// entryProductInto fills tmp with entry e's contribution to the mode-n
+// MTTKRP: X[e] · ∏_{k≠mode} A_k[coords_k, :]. It is the one inner
+// kernel both the flat and the row-grouped paths run, so the two can
+// never drift apart numerically.
+func entryProductInto(tmp []float64, t *tensor.Tensor, factors []*mat.Dense, mode, e int) {
+	n := t.Order()
+	base := e * n
+	v := t.Vals[e]
+	for c := range tmp {
+		tmp[c] = v
+	}
+	for k := 0; k < n; k++ {
+		if k == mode {
+			continue
+		}
+		row := factors[k].Row(int(t.Coords[base+k]))
+		for c := range tmp {
+			tmp[c] *= row[c]
+		}
+	}
+}
+
 func accumulateScratch(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, mode int, tmp []float64) {
 	r := len(tmp)
 	if mode < 0 || mode >= t.Order() {
@@ -78,21 +100,8 @@ func accumulateScratch(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, m
 	}
 	n := t.Order()
 	for e := 0; e < t.NNZ(); e++ {
-		base := e * n
-		v := t.Vals[e]
-		for c := range tmp {
-			tmp[c] = v
-		}
-		for k := 0; k < n; k++ {
-			if k == mode {
-				continue
-			}
-			row := factors[k].Row(int(t.Coords[base+k]))
-			for c := range tmp {
-				tmp[c] *= row[c]
-			}
-		}
-		out := dst.Row(int(t.Coords[base+mode]))
+		entryProductInto(tmp, t, factors, mode, e)
+		out := dst.Row(int(t.Coords[e*n+mode]))
 		for c := range tmp {
 			out[c] += tmp[c]
 		}
@@ -140,35 +149,73 @@ func innerProductScratch(t *tensor.Tensor, factors []*mat.Dense, tmp []float64) 
 	return total
 }
 
-// ModeView is a counting-sort arrangement of a tensor's entries by one
+// ModeView is a counting-sort arrangement of tensor entries by one
 // mode's coordinate, grouping together all entries of each slice. It is
 // built once per (tensor, mode) and reused across ALS iterations — the
-// sparsity pattern is fixed within a snapshot.
+// sparsity pattern is fixed within a snapshot. A view may cover the
+// whole tensor (NewModeView) or an explicit entry subset
+// (NewModeViewOf), which is how the distributed workers group the
+// entries their partition assigned them.
 type ModeView struct {
 	Mode       int
 	EntryOrder []int32 // entry ids ordered by mode coordinate
 	Rows       []int32 // distinct mode coordinates, ascending
 	Starts     []int32 // group i spans EntryOrder[Starts[i]:Starts[i+1]]
+
+	// chunks caches the last nnz-balanced chunk grid (see ChunkStarts)
+	// so steady-state parallel sweeps rebuild nothing.
+	chunks []int32
+	chunkC int
 }
 
-// NewModeView builds the view for the given mode in O(nnz + I_n).
+// NewModeView builds the view of every entry in O(nnz + I_n).
 func NewModeView(t *tensor.Tensor, mode int) *ModeView {
+	return newModeView(t, mode, nil, true)
+}
+
+// NewModeViewOf builds the view of an explicit entry subset. entries
+// lists tensor entry ids (a nil or empty list is an empty view — what
+// an idle distributed rank holds). The counting sort is stable —
+// entries of one slice keep their order from the input list — so the
+// grouped kernel accumulates each output row in exactly the order the
+// flat kernel would visit it.
+func NewModeViewOf(t *tensor.Tensor, mode int, entries []int32) *ModeView {
+	return newModeView(t, mode, entries, false)
+}
+
+func newModeView(t *tensor.Tensor, mode int, entries []int32, all bool) *ModeView {
 	if mode < 0 || mode >= t.Order() {
 		panic(fmt.Sprintf("mttkrp: NewModeView mode %d on order-%d tensor", mode, t.Order()))
 	}
 	n := t.Order()
+	nnz := len(entries)
+	if all {
+		entries = nil
+		nnz = t.NNZ()
+	}
+	coord := func(i int) int32 {
+		e := int32(i)
+		if entries != nil {
+			e = entries[i]
+		}
+		return t.Coords[int(e)*n+mode]
+	}
 	counts := make([]int32, t.Dims[mode]+1)
-	for e := 0; e < t.NNZ(); e++ {
-		counts[t.Coords[e*n+mode]+1]++
+	for i := 0; i < nnz; i++ {
+		counts[coord(i)+1]++
 	}
 	for i := 1; i < len(counts); i++ {
 		counts[i] += counts[i-1]
 	}
 	offsets := append([]int32(nil), counts...)
-	order := make([]int32, t.NNZ())
-	for e := 0; e < t.NNZ(); e++ {
-		row := t.Coords[e*n+mode]
-		order[offsets[row]] = int32(e)
+	order := make([]int32, nnz)
+	for i := 0; i < nnz; i++ {
+		e := int32(i)
+		if entries != nil {
+			e = entries[i]
+		}
+		row := coord(i)
+		order[offsets[row]] = e
 		offsets[row]++
 	}
 	v := &ModeView{Mode: mode, EntryOrder: order}
@@ -178,7 +225,7 @@ func NewModeView(t *tensor.Tensor, mode int) *ModeView {
 			v.Starts = append(v.Starts, counts[i])
 		}
 	}
-	v.Starts = append(v.Starts, int32(t.NNZ()))
+	v.Starts = append(v.Starts, int32(nnz))
 	return v
 }
 
@@ -208,27 +255,20 @@ func (v *ModeView) accumulateScratch(dst *mat.Dense, t *tensor.Tensor, factors [
 	if dst.Rows != t.Dims[v.Mode] || dst.Cols != r {
 		panic(fmt.Sprintf("mttkrp: destination %dx%d, want %dx%d", dst.Rows, dst.Cols, t.Dims[v.Mode], r))
 	}
-	n := t.Order()
-	for g := 0; g < len(v.Rows); g++ {
+	v.accumulateGroups(dst, t, factors, 0, len(v.Rows), tmp, acc)
+}
+
+// accumulateGroups runs the grouped kernel over groups [g0, g1). Each
+// group owns one output row, so disjoint group ranges write disjoint
+// rows — the unit of parallel work. The bits a group produces depend
+// only on its own entries, never on the range split.
+func (v *ModeView) accumulateGroups(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, g0, g1 int, tmp, acc []float64) {
+	for g := g0; g < g1; g++ {
 		for c := range acc {
 			acc[c] = 0
 		}
 		for p := v.Starts[g]; p < v.Starts[g+1]; p++ {
-			e := int(v.EntryOrder[p])
-			base := e * n
-			vv := t.Vals[e]
-			for c := range tmp {
-				tmp[c] = vv
-			}
-			for k := 0; k < n; k++ {
-				if k == v.Mode {
-					continue
-				}
-				row := factors[k].Row(int(t.Coords[base+k]))
-				for c := range tmp {
-					tmp[c] *= row[c]
-				}
-			}
+			entryProductInto(tmp, t, factors, v.Mode, int(v.EntryOrder[p]))
 			for c := range acc {
 				acc[c] += tmp[c]
 			}
@@ -238,4 +278,43 @@ func (v *ModeView) accumulateScratch(dst *mat.Dense, t *tensor.Tensor, factors [
 			out[c] += acc[c]
 		}
 	}
+}
+
+// NNZ reports the number of entries the view covers.
+func (v *ModeView) NNZ() int { return int(v.Starts[len(v.Starts)-1]) }
+
+// ChunkStarts returns an nnz-balanced grid of at most c contiguous
+// group ranges: boundary i is the first group at or past i/c of the
+// view's entries, so chunks carry near-equal work even when slice
+// populations are skewed. The grid is a pure function of (view, c) —
+// nothing about scheduling feeds it — and is cached for reuse across
+// sweeps.
+func (v *ModeView) ChunkStarts(c int) []int32 {
+	g := len(v.Rows)
+	if c > g {
+		c = g
+	}
+	if c < 1 {
+		c = 1
+	}
+	if v.chunkC == c && v.chunks != nil {
+		return v.chunks
+	}
+	starts := v.chunks[:0]
+	if cap(starts) < c+1 {
+		starts = make([]int32, 0, c+1)
+	}
+	starts = append(starts, 0)
+	total := int64(v.NNZ())
+	gi := 0
+	for i := 1; i < c; i++ {
+		target := int32(total * int64(i) / int64(c))
+		for gi < g && v.Starts[gi] < target {
+			gi++
+		}
+		starts = append(starts, int32(gi))
+	}
+	starts = append(starts, int32(g))
+	v.chunks, v.chunkC = starts, c
+	return starts
 }

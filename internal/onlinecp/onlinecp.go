@@ -24,6 +24,7 @@ import (
 
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
+	"dismastd/internal/par"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
 )
@@ -34,6 +35,11 @@ type Options struct {
 	StreamMode int    // index of the growing mode (usually the last)
 	InitIters  int    // ALS sweeps on the initial batch; default 30
 	Seed       uint64 // initialisation seed; default 1
+
+	// Threads sizes the tracker's shared-memory pool (see internal/par).
+	// 0 or 1 means sequential; results are bitwise identical at every
+	// value. Call Close when done with a tracker to stop the pool.
+	Threads int
 }
 
 func (o *Options) withDefaults(order int) (Options, error) {
@@ -50,6 +56,12 @@ func (o *Options) withDefaults(order int) (Options, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if opts.Threads < 0 {
+		return opts, fmt.Errorf("onlinecp: negative thread count %d", opts.Threads)
+	}
+	if opts.Threads == 0 {
+		opts.Threads = 1
+	}
 	return opts, nil
 }
 
@@ -64,7 +76,11 @@ type Tracker struct {
 	p       []*mat.Dense // accumulated P_n, n ≠ StreamMode
 	q       []*mat.Dense // accumulated Q_n, n ≠ StreamMode
 
-	ws       *mat.Workspace
+	ws   *mat.Workspace
+	pool *par.Pool
+	wss  *mat.WorkspaceSet
+	pk   *mat.ParKernels
+
 	factorsG []*mat.Dense // per-batch factor view with the grown mode
 	curGrams []*mat.Dense // A_nᵀA_n at batch-absorb time
 	gramNew  *mat.Dense   // c_newᵀ c_new
@@ -99,10 +115,19 @@ func Init(x *tensor.Tensor, o Options) (*Tracker, error) {
 		grams[m] = mat.Gram(factors[m])
 	}
 	// The initial ALS runs entirely in place: persistent MTTKRP buffers,
-	// a shared denominator, and workspace-backed solves.
+	// a shared denominator, and workspace-backed solves. The pool lives
+	// for the tracker's lifetime (Close stops it); each sweep zeroes its
+	// MTTKRP buffer, so the row-grouped parallel kernel reproduces the
+	// flat scatter bit for bit.
 	ws := mat.NewWorkspace()
+	pool := par.New(opts.Threads)
+	wss := mat.NewWorkspaceSet(pool.Threads())
+	pk := mat.NewParKernels(pool, wss)
+	pacc := mttkrp.NewParAccumulator(pool, wss, nil)
+	views := make([]*mttkrp.ModeView, n)
 	mbuf := make([]*mat.Dense, n)
 	for m := 0; m < n; m++ {
+		views[m] = mttkrp.NewModeView(x, m)
 		mbuf[m] = mat.New(x.Dims[m], r)
 	}
 	denom := mat.New(r, r)
@@ -110,10 +135,10 @@ func Init(x *tensor.Tensor, o Options) (*Tracker, error) {
 		for m := 0; m < n; m++ {
 			M := mbuf[m]
 			M.Zero()
-			mttkrp.AccumulateIntoWS(M, x, factors, m, ws)
+			pacc.Accumulate(M, views[m], x, factors, "")
 			hadamardExceptInto(denom, grams, m)
-			mat.SolveRightRidgeInto(factors[m], M, denom, ws)
-			mat.GramInto(grams[m], factors[m])
+			pk.SolveRightRidgeInto(factors[m], M, denom)
+			pk.GramInto(grams[m], factors[m])
 		}
 	}
 	tr := &Tracker{
@@ -123,6 +148,9 @@ func Init(x *tensor.Tensor, o Options) (*Tracker, error) {
 		p:        make([]*mat.Dense, n),
 		q:        make([]*mat.Dense, n),
 		ws:       ws,
+		pool:     pool,
+		wss:      wss,
+		pk:       pk,
 		factorsG: make([]*mat.Dense, n),
 		curGrams: make([]*mat.Dense, n),
 		gramNew:  mat.New(r, r),
@@ -142,6 +170,10 @@ func Init(x *tensor.Tensor, o Options) (*Tracker, error) {
 	}
 	return tr, nil
 }
+
+// Close stops the tracker's thread pool. The tracker must not be used
+// after Close. Safe on a sequential (Threads <= 1) tracker.
+func (t *Tracker) Close() { t.pool.Close() }
 
 // Dims returns the current mode sizes.
 func (t *Tracker) Dims() []int { return t.dims }
@@ -189,23 +221,26 @@ func (t *Tracker) Absorb(batch *tensor.Tensor) error {
 	copy(factorsG, t.factors)
 	factorsG[s] = grown
 	for m := 0; m < n; m++ {
-		mat.GramInto(t.curGrams[m], t.factors[m])
+		t.pk.GramInto(t.curGrams[m], t.factors[m])
 	}
 	mark := t.ws.Mark()
 	Ms := t.ws.Take(batch.Dims[s], r)
 	mttkrp.AccumulateIntoWS(Ms, batch, factorsG, s, t.ws)
 	hadamardExceptInto(t.denom, t.curGrams, s)
 	newBlock := grown.SliceRows(t.dims[s], batch.Dims[s])
-	mat.SolveRightRidgeInto(newBlock, Ms.SliceRows(t.dims[s], batch.Dims[s]), t.denom, t.ws)
+	t.pk.SolveRightRidgeInto(newBlock, Ms.SliceRows(t.dims[s], batch.Dims[s]), t.denom)
 	t.ws.Release(mark)
 	t.factors[s] = grown
-	mat.GramInto(t.gramNew, newBlock) // c_newᵀ c_new
+	t.pk.GramInto(t.gramNew, newBlock) // c_newᵀ c_new
 
 	// 2. Fold the batch into each P_n/Q_n pair, then refresh A_n.
 	// KR uses the just-solved streaming rows plus the factors as they
 	// were when this batch's contribution is computed (modes refreshed
 	// earlier in this loop contribute their new values, as in the
-	// published algorithm's sequential update).
+	// published algorithm's sequential update). The P fold-in stays on
+	// the flat kernel: it accumulates onto the *live* P_n carried from
+	// previous batches, where regrouping entries would change the
+	// floating-point accumulation order.
 	for m := 0; m < n; m++ {
 		if m == s {
 			continue
@@ -216,14 +251,14 @@ func (t *Tracker) Absorb(batch *tensor.Tensor) error {
 			if k == m || k == s {
 				continue
 			}
-			mat.GramInto(t.gk, factorsG[k])
+			t.pk.GramInto(t.gk, factorsG[k])
 			t.dq.Hadamard(t.dq, t.gk)
 		}
 		t.q[m].Add(t.q[m], t.dq)
 		// In-place refresh: the solve reads only P_n and Q_n, and
 		// factorsG[m] already aliases t.factors[m], so later modes see
 		// the new values exactly as the sequential algorithm requires.
-		mat.SolveRightRidgeInto(t.factors[m], t.p[m], t.q[m], t.ws)
+		t.pk.SolveRightRidgeInto(t.factors[m], t.p[m], t.q[m])
 	}
 	t.dims[s] = batch.Dims[s]
 	return nil

@@ -37,6 +37,12 @@ type Options struct {
 	// Partitioner chooses GTP or MTP for the distributed engine.
 	// Default GTP; MTP balances better on skewed data.
 	Partitioner Partitioner
+
+	// Threads sizes the shared-memory pool each engine (and, for the
+	// distributed engine, each worker) runs its numeric kernels on.
+	// 0 or 1 means sequential. Factors are bitwise identical at every
+	// value — parallelism never reorders a floating-point reduction.
+	Threads int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -48,6 +54,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Workers < 0 {
 		return o, fmt.Errorf("dismastd: Workers must be positive, got %d", o.Workers)
+	}
+	if o.Threads < 0 {
+		return o, fmt.Errorf("dismastd: Threads must be non-negative, got %d", o.Threads)
 	}
 	return o, nil
 }
@@ -95,6 +104,7 @@ func (s *Stream) Ingest(snapshot *Tensor) (*StepReport, error) {
 		st, stats, err := dtd.Init(snapshot, dtd.Options{
 			Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol,
 			Mu: opts.ForgettingFactor, Seed: opts.Seed,
+			Threads: opts.Threads,
 		})
 		if err != nil {
 			return nil, err
@@ -107,6 +117,7 @@ func (s *Stream) Ingest(snapshot *Tensor) (*StepReport, error) {
 		st, stats, err := dtd.Step(s.state, snapshot, dtd.Options{
 			Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol,
 			Mu: opts.ForgettingFactor, Seed: opts.Seed + uint64(s.step),
+			Threads: opts.Threads,
 		})
 		if err != nil {
 			return nil, err
@@ -120,7 +131,8 @@ func (s *Stream) Ingest(snapshot *Tensor) (*StepReport, error) {
 			Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol,
 			Mu: opts.ForgettingFactor, Seed: opts.Seed + uint64(s.step),
 			Workers: opts.Workers, Parts: opts.Parts,
-			Method: partition.Method(opts.Partitioner),
+			Method:  partition.Method(opts.Partitioner),
+			Threads: opts.Threads,
 		})
 		if err != nil {
 			return nil, err
