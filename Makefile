@@ -2,7 +2,7 @@ GO ?= go
 
 # Packages exercising the distributed machinery; these are the ones the
 # race detector must stay clean on.
-CLUSTER_PKGS = ./internal/cluster/... ./internal/core/... ./cmd/worker/...
+CLUSTER_PKGS = ./internal/cluster/... ./internal/core/... ./internal/dplan/... ./cmd/worker/...
 
 # The workspace-threaded numeric stack. Workspaces are per-worker by
 # contract (see DESIGN.md, "Memory model"); the race detector over these
@@ -12,7 +12,7 @@ NUMERIC_PKGS = ./internal/par/... ./internal/mat/... ./internal/mttkrp/... \
 	./internal/cp/... ./internal/dtd/... ./internal/dmsmg/... \
 	./internal/completion/... ./internal/onlinecp/...
 
-.PHONY: all build test vet race check bench bench-paper bench-par profile clean
+.PHONY: all build test vet race check bench bench-comm bench-paper bench-par profile clean
 
 all: check
 
@@ -41,6 +41,15 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' \
 		./internal/mat/... ./internal/mttkrp/... ./internal/core/... \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernels.json
+
+# Collective microbenchmarks: tree vs ring all-reduce/all-gather across
+# cluster sizes and payload sizes, plus the subscription row exchange.
+# Each row's maxrank-B/op extra column is the heaviest rank's sent bytes
+# per op — the per-rank bandwidth bound the ring path flattens.
+bench-comm:
+	$(GO) test -bench='BenchmarkComm' -benchmem -benchtime=20x -run '^$$' \
+		./internal/cluster/... ./internal/dplan/... \
+		| $(GO) run ./cmd/benchjson -o BENCH_comm.json
 
 # End-to-end paper-scale benchmark harness: the streaming benchmark
 # with the tracer's per-phase medians, captured as JSON.

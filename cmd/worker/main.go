@@ -71,6 +71,7 @@ type workerConfig struct {
 	heartbeat     time.Duration
 	chaosKillStep int
 	debugAddr     string
+	ringThreshold int
 }
 
 // resolveThreads maps the -threads flag to a pool size: 0 means one
@@ -104,6 +105,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	timeout := fs.Duration("timeout", 2*time.Minute, "join and receive timeout")
 	heartbeat := fs.Duration("heartbeat", 0, "peer failure-detection probe interval (0 = off)")
 	chaosKill := fs.Int("chaos-kill-step", -1, "chaos testing: close the node and exit right before this step")
+	ringThreshold := fs.Int("ring-threshold", cluster.DefaultRingThreshold, "payload bytes at which collectives switch from the tree to the ring path (<= 0 disables the ring; must match on every rank)")
 	debugAddr := fs.String("debug-addr", "", "worker mode: serve pprof, metrics, and trace debug endpoints on this address (no auth — bind loopback only; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			checkpoint: *checkpoint, resume: *resume,
 			rank: *rank, iters: *iters, threads: resolveThreads(*threads), mu: *mu, method: pm, seed: *seed,
 			timeout: *timeout, heartbeat: *heartbeat, chaosKillStep: *chaosKill,
-			debugAddr: *debugAddr,
+			debugAddr: *debugAddr, ringThreshold: *ringThreshold,
 		}
 		return runWorker(stdout, stderr, cfg)
 	default:
@@ -193,6 +195,7 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 	}
 	defer node.Close()
 	node.SetRecvTimeout(cfg.timeout)
+	node.SetRingThreshold(cfg.ringThreshold)
 	node.SetLogger(logger)
 	log := logger.With("rank", node.Rank(), "size", node.Size())
 	if cfg.heartbeat > 0 {

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// bufPool recycles message payload buffers in power-of-two size
+// classes, mirroring what mat.Workspace does for the numeric stack: the
+// first sweep populates the pool, and from then on the collectives and
+// the row exchange encode into recycled buffers with zero steady-state
+// heap allocations. The pool is shared by every worker of a transport
+// (the in-process transport hands buffers across rank goroutines, so
+// the free lists must be common property), hence the mutex.
+//
+// Ownership follows the message: a buffer obtained with Worker.GetBuf
+// belongs to the caller until it is sent with Worker.SendPooled, after
+// which exactly one side returns it with Worker.PutBuf — see the
+// "communication model" section of DESIGN.md for the per-transport
+// rules.
+type bufPool struct {
+	mu      sync.Mutex
+	classes [64][][]byte
+	gets    int64
+	misses  int64
+}
+
+// maxFree bounds each size class's free list; buffers released beyond
+// it are left to the garbage collector. Steady state needs only a
+// handful of buffers in flight per rank, so the bound exists purely to
+// cap pathological retention after a burst.
+const maxFree = 256
+
+func newBufPool() *bufPool { return &bufPool{} }
+
+// sizeClass returns the smallest c with 1<<c >= n (n > 0).
+func sizeClass(n int) int { return bits.Len(uint(n - 1)) }
+
+// get returns a buffer of length n (capacity rounded up to the size
+// class) and whether it had to be freshly allocated.
+func (p *bufPool) get(n int) ([]byte, bool) {
+	if n == 0 {
+		return nil, false
+	}
+	c := sizeClass(n)
+	p.mu.Lock()
+	p.gets++
+	if s := p.classes[c]; len(s) > 0 {
+		b := s[len(s)-1]
+		s[len(s)-1] = nil
+		p.classes[c] = s[:len(s)-1]
+		p.mu.Unlock()
+		return b[:n], false
+	}
+	p.misses++
+	p.mu.Unlock()
+	return make([]byte, n, 1<<c), true
+}
+
+// put returns a buffer to its size class. The class is derived from the
+// capacity rounded down, so a recycled buffer always satisfies the
+// lengths get hands out for that class. Buffers of foreign origin (for
+// example TCP receive payloads decoded by gob) are adopted the same
+// way.
+func (p *bufPool) put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(b))) - 1
+	p.mu.Lock()
+	if len(p.classes[c]) < maxFree {
+		p.classes[c] = append(p.classes[c], b[:0])
+	}
+	p.mu.Unlock()
+}
+
+// stats reports lifetime get and miss counts (tests assert steady-state
+// misses stay flat).
+func (p *bufPool) stats() (gets, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.misses
+}

@@ -106,9 +106,18 @@ func (s *RunStats) TotalWork() float64 {
 // send fail. Used for fault injection in tests.
 type SendHook func(from, to int, tag string) error
 
+// DefaultRingThreshold is the payload size, in bytes, at which
+// AllReduceSumInPlace and AllGatherBytes switch from the binomial tree
+// to the bandwidth-optimal ring. The default keeps every R×R Gram batch
+// up to R=13 on the tree path (3R²·8 bytes < 4096), preserving the
+// bitwise goldens, while the large factor-row payloads of a real
+// multi-node run take the ring.
+const DefaultRingThreshold = 4096
+
 // Worker is one rank's handle inside a running cluster: point-to-point
-// messaging, collectives (collectives.go), and work accounting. A
-// Worker is used only by the goroutine executing its worker function.
+// messaging, collectives (collectives.go, ring.go), pooled payload
+// buffers, and work accounting. A Worker is used only by the goroutine
+// executing its worker function.
 type Worker struct {
 	rank, size  int
 	mbox        *mailbox
@@ -119,7 +128,74 @@ type Worker struct {
 	recvTimeout time.Duration
 	coll        uint64 // collective sequence number; see collectives.go
 	tagEpoch    string // namespaces tags across repeated TCPNode.Run calls
+	tagBuf      []byte // reusable scratch for nextTag
+	streams     map[streamKey]string
+	bufs        *bufPool
+	poolShared  bool // receiver returns pooled sends (Local); else sender recycles (TCP)
+	ringThresh  int  // bytes; <= 0 disables the ring collectives
+	scalar      [1]float64
+	cc          commCounters
 	work        float64
+}
+
+// workerConfig collects what a transport must supply to assemble a
+// Worker; both transports funnel through newWorker so the comm-layer
+// state (buffer pool, stream-tag cache, instrument handles) stays in
+// one place.
+type workerConfig struct {
+	rank, size  int
+	mbox        *mailbox
+	sendFn      func(to int, msg Message) error
+	metrics     *Metrics
+	base        Metrics
+	obs         *obs.Obs
+	recvTimeout time.Duration
+	tagEpoch    string
+	bufs        *bufPool
+	poolShared  bool
+	ringThresh  int
+}
+
+func newWorker(cfg workerConfig) *Worker {
+	return &Worker{
+		rank:        cfg.rank,
+		size:        cfg.size,
+		mbox:        cfg.mbox,
+		sendFn:      cfg.sendFn,
+		metrics:     cfg.metrics,
+		base:        cfg.base,
+		obs:         cfg.obs,
+		recvTimeout: cfg.recvTimeout,
+		tagEpoch:    cfg.tagEpoch,
+		streams:     make(map[streamKey]string),
+		bufs:        cfg.bufs,
+		poolShared:  cfg.poolShared,
+		ringThresh:  cfg.ringThresh,
+		cc:          newCommCounters(cfg.obs),
+	}
+}
+
+// commCounters are the pre-resolved comm-layer instruments every worker
+// bumps on its hot path (resolving by name per call would cost a map
+// lookup per collective).
+type commCounters struct {
+	treeReduce   *obs.Counter // comm.allreduce.tree — tree-path all-reduces
+	ringReduce   *obs.Counter // comm.allreduce.ring — ring-path all-reduces
+	funnelGather *obs.Counter // comm.allgather.funnel — funnel-path all-gathers
+	ringGather   *obs.Counter // comm.allgather.ring — ring-path all-gathers
+	poolGets     *obs.Counter // comm.pool.gets — pooled buffer requests
+	poolMisses   *obs.Counter // comm.pool.misses — requests that had to allocate
+}
+
+func newCommCounters(o *obs.Obs) commCounters {
+	return commCounters{
+		treeReduce:   o.Counter("comm.allreduce.tree"),
+		ringReduce:   o.Counter("comm.allreduce.ring"),
+		funnelGather: o.Counter("comm.allgather.funnel"),
+		ringGather:   o.Counter("comm.allgather.ring"),
+		poolGets:     o.Counter("comm.pool.gets"),
+		poolMisses:   o.Counter("comm.pool.misses"),
+	}
 }
 
 // Rank returns this worker's rank in [0, Size()).
@@ -175,6 +251,64 @@ func (w *Worker) Recv(from int, tag string) ([]byte, error) {
 	return payload, nil
 }
 
+// RecvAny blocks until a message with the given tag arrives from any of
+// the listed ranks and returns the index into `from` of the sender plus
+// its payload. It is the arrival-order receive the gather and row
+// exchange use to avoid head-of-line blocking on one slow peer: the
+// caller holds the pending-sender set, removes the returned entry, and
+// calls again — taking only the FIFO head per sender guarantees a peer
+// running ahead into the next operation on the same stream is consumed
+// at most once per round.
+func (w *Worker) RecvAny(tag string, from []int) (int, []byte, error) {
+	if len(from) == 0 {
+		return -1, nil, fmt.Errorf("cluster: recv-any with no candidate ranks")
+	}
+	for _, f := range from {
+		if f < 0 || f >= w.size {
+			return -1, nil, fmt.Errorf("cluster: recv-any from invalid rank %d of %d", f, w.size)
+		}
+	}
+	i, payload, err := w.mbox.recvAny(tag, from, w.recvTimeout)
+	if err != nil {
+		return -1, nil, fmt.Errorf("cluster: rank %d recv-any tag %q: %w", w.rank, tag, err)
+	}
+	w.metrics.addRecvd(int64(len(payload)) + int64(len(tag)) + 8)
+	return i, payload, nil
+}
+
+// GetBuf returns a pooled payload buffer of length n. The buffer
+// belongs to the caller until handed to SendPooled or returned with
+// PutBuf.
+func (w *Worker) GetBuf(n int) []byte {
+	b, missed := w.bufs.get(n)
+	w.cc.poolGets.Inc()
+	if missed {
+		w.cc.poolMisses.Inc()
+	}
+	return b
+}
+
+// PutBuf returns a payload buffer to the transport's pool. Receivers of
+// pooled sends call it once they have decoded the payload; passing a
+// buffer of foreign origin (e.g. a TCP receive) simply adopts it.
+func (w *Worker) PutBuf(b []byte) { w.bufs.put(b) }
+
+// SendPooled sends a buffer obtained from GetBuf and transfers its
+// ownership to the message: on the in-process transport the payload is
+// delivered by reference and the receiving rank recycles it (the pool
+// is shared across ranks), while on TCP the wire encoder copies the
+// bytes synchronously, so the buffer is recycled here at once.
+// Self-sends loop through the local mailbox on both transports and are
+// recycled by the receiving code path. Either way the caller must not
+// touch buf after the call.
+func (w *Worker) SendPooled(to int, tag string, buf []byte) error {
+	err := w.Send(to, tag, buf)
+	if !w.poolShared && to != w.rank {
+		w.bufs.put(buf)
+	}
+	return err
+}
+
 // Local is an in-process cluster: M workers as goroutines delivering
 // messages through shared-memory mailboxes, with the same accounting
 // the TCP transport performs. It is the substrate for the experiment
@@ -188,6 +322,8 @@ type Local struct {
 	obs         *obs.Obs // cluster-level transport instruments (fault counters)
 	fc          faultCounters
 	logger      *slog.Logger
+	pool        *bufPool
+	ringThresh  int
 }
 
 // faultCounters are the pre-resolved injection counters both transports
@@ -223,13 +359,26 @@ func NewLocal(size int) *Local {
 	if size <= 0 {
 		panic(fmt.Sprintf("cluster: NewLocal(%d)", size))
 	}
-	c := &Local{size: size, recvTimeout: 30 * time.Second, obs: obs.New()}
+	c := &Local{
+		size:        size,
+		recvTimeout: 30 * time.Second,
+		obs:         obs.New(),
+		pool:        newBufPool(),
+		ringThresh:  DefaultRingThreshold,
+	}
 	c.fc = newFaultCounters(c.obs)
 	return c
 }
 
 // SetRecvTimeout overrides the receive timeout (zero disables it).
 func (c *Local) SetRecvTimeout(d time.Duration) { c.recvTimeout = d }
+
+// SetRingThreshold overrides the payload size, in bytes, at which the
+// all-reduce and all-gather collectives leave the binomial tree for the
+// bandwidth-optimal ring. Values <= 0 disable the ring path entirely.
+// Must be called before Run; every rank of a cluster shares one value,
+// which keeps path selection identical across ranks.
+func (c *Local) SetRingThreshold(bytes int) { c.ringThresh = bytes }
 
 // SetSendHook installs a fault-injection hook applied to every send.
 func (c *Local) SetSendHook(h SendHook) { c.sendHook = h }
@@ -271,13 +420,16 @@ func (c *Local) Run(fn func(*Worker) error) (*RunStats, error) {
 		if c.logger != nil {
 			ro.Log = c.logger.With("rank", rank)
 		}
-		workers[i] = &Worker{
+		workers[i] = newWorker(workerConfig{
 			rank:        rank,
 			size:        c.size,
 			mbox:        mboxes[rank],
 			metrics:     metrics[rank],
 			obs:         ro,
 			recvTimeout: c.recvTimeout,
+			bufs:        c.pool,
+			poolShared:  true,
+			ringThresh:  c.ringThresh,
 			sendFn: func(to int, msg Message) error {
 				if c.sendHook != nil {
 					if err := c.sendHook(msg.From, to, msg.Tag); err != nil {
@@ -300,7 +452,7 @@ func (c *Local) Run(fn func(*Worker) error) (*RunStats, error) {
 				mboxes[to].deliver(msg.From, msg.Tag, msg.Payload)
 				return nil
 			},
-		}
+		})
 	}
 
 	start := time.Now()

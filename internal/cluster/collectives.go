@@ -3,21 +3,84 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 )
 
 // Collectives. Every worker in the cluster must invoke the same
-// sequence of collective calls: each call consumes one slot of the
-// per-worker collective counter, which namespaces its message tags so
-// consecutive collectives never cross-match. This mirrors the lockstep
-// structure of the distributed decomposition (all workers sweep the
-// same modes in the same order). On the TCP transport tags carry an
-// additional per-Run epoch prefix, so a rank racing ahead into the next
-// node.Run phase cannot cross-match a peer still finishing the last.
+// sequence of collective calls — the lockstep structure of the
+// distributed decomposition (all workers sweep the same modes in the
+// same order). Two tag schemes ride on that contract:
+//
+//   - Counter tags (nextTag): each call consumes one slot of the
+//     per-worker collective counter, which namespaces its message tags
+//     so consecutive collectives never cross-match. Used by the cold
+//     operations (Barrier, BroadcastBytes, UniqueTag callers).
+//
+//   - Stream tags (StreamTag): one fixed tag per logical message
+//     stream, reused across calls. Matching is still exact because the
+//     mailbox preserves FIFO order per (sender, tag) and all workers
+//     issue the stream's operations in the same order; reusing the tag
+//     is what lets the hot collectives (all-reduce, gather, exchange)
+//     run with zero steady-state allocations.
+//
+// On the TCP transport both schemes carry an additional per-Run epoch
+// prefix, so a rank racing ahead into the next node.Run phase cannot
+// cross-match a peer still finishing the last.
 
+// nextTag returns the next counter-namespaced tag for op — the
+// epoch-prefixed "<op>#<seq>" scheme — built with integer appends into
+// a reusable scratch buffer rather than fmt machinery.
 func (w *Worker) nextTag(op string) string {
-	t := fmt.Sprintf("%s%s#%d", w.tagEpoch, op, w.coll)
+	b := append(w.tagBuf[:0], w.tagEpoch...)
+	b = append(b, op...)
+	b = append(b, '#')
+	b = strconv.AppendUint(b, w.coll, 10)
+	w.tagBuf = b
 	w.coll++
+	return string(b)
+}
+
+// streamKey identifies one logical message stream of the algorithm.
+type streamKey struct {
+	name string
+	idx  int
+}
+
+// StreamTag returns the worker's stable tag for a named logical message
+// stream ("reduce", "gather", ...). Unlike UniqueTag the same string is
+// returned on every call, so steady-state collectives generate no tag
+// garbage; correctness relies on per-(sender, tag) FIFO delivery plus
+// the collectives contract above. The TCP Run epoch prefix is included,
+// like counter tags.
+func (w *Worker) StreamTag(name string) string { return w.streamTagIdx(name, -1) }
+
+// StreamTagIndexed is StreamTag for a numbered stream family, e.g. the
+// per-mode row exchanges ("rows/<mode>").
+func (w *Worker) StreamTagIndexed(name string, idx int) string { return w.streamTagIdx(name, idx) }
+
+func (w *Worker) streamTagIdx(name string, idx int) string {
+	k := streamKey{name, idx}
+	if t, ok := w.streams[k]; ok {
+		return t
+	}
+	b := make([]byte, 0, len(w.tagEpoch)+len(name)+12)
+	b = append(b, w.tagEpoch...)
+	b = append(b, name...)
+	if idx >= 0 {
+		b = append(b, '/')
+		b = strconv.AppendInt(b, int64(idx), 10)
+	}
+	t := string(b)
+	w.streams[k] = t
 	return t
+}
+
+// useRing reports whether a collective over payloadBytes takes the ring
+// path. The decision is a pure function of the payload size and cluster
+// shape, so every rank selects the same path for the same lockstep
+// call.
+func (w *Worker) useRing(payloadBytes int) bool {
+	return w.ringThresh > 0 && payloadBytes >= w.ringThresh && w.size > 1
 }
 
 // Barrier blocks until every worker has entered it: ranks report to
@@ -73,32 +136,78 @@ func (w *Worker) BroadcastBytes(root int, data []byte) ([]byte, error) {
 	return data, nil
 }
 
-// GatherBytes collects every rank's data at root. At root the result
-// has one element per rank (root's own included, in rank order); other
-// ranks get nil.
-func (w *Worker) GatherBytes(root int, data []byte) ([][]byte, error) {
-	tag := w.nextTag("gather")
-	if w.rank == root {
-		out := make([][]byte, w.size)
-		out[root] = data
-		for r := 0; r < w.size; r++ {
-			if r == root {
+// bcastFloat64s overwrites vec on every rank with rank 0's values, down
+// a binomial tree of pooled buffers: the allocation-free broadcast leg
+// of the tree all-reduce.
+func (w *Worker) bcastFloat64s(vec []float64, tag string) error {
+	for bit := 1; bit < w.size; bit <<= 1 {
+		if w.rank < bit {
+			peer := w.rank + bit
+			if peer >= w.size {
 				continue
 			}
-			b, err := w.Recv(r, tag)
-			if err != nil {
-				return nil, err
+			buf := w.GetBuf(8 * len(vec))
+			PutFloat64s(buf, vec)
+			if err := w.SendPooled(peer, tag, buf); err != nil {
+				return err
 			}
-			out[r] = b
+		} else if w.rank < bit<<1 {
+			payload, err := w.Recv(w.rank-bit, tag)
+			if err != nil {
+				return err
+			}
+			if len(payload) != 8*len(vec) {
+				return fmt.Errorf("cluster: broadcast of %d bytes, want %d", len(payload), 8*len(vec))
+			}
+			CopyFloat64s(vec, payload)
+			w.PutBuf(payload)
 		}
-		return out, nil
 	}
-	return nil, w.Send(root, tag, data)
+	return nil
 }
 
-// AllGatherBytes collects every rank's data everywhere: a gather to
-// rank 0 followed by a broadcast of the framed list.
+// GatherBytes collects every rank's data at root. At root the result
+// has one element per rank (root's own included, in rank order); other
+// ranks get nil. Contributions are consumed in arrival order — one slow
+// peer no longer blocks the root from draining the fast ones.
+func (w *Worker) GatherBytes(root int, data []byte) ([][]byte, error) {
+	tag := w.StreamTag("gather")
+	if w.rank != root {
+		return nil, w.Send(root, tag, data)
+	}
+	out := make([][]byte, w.size)
+	out[root] = data
+	pending := make([]int, 0, w.size-1)
+	for r := 0; r < w.size; r++ {
+		if r != root {
+			pending = append(pending, r)
+		}
+	}
+	for len(pending) > 0 {
+		i, b, err := w.RecvAny(tag, pending)
+		if err != nil {
+			return nil, err
+		}
+		out[pending[i]] = b
+		pending[i] = pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+	}
+	return out, nil
+}
+
+// AllGatherBytes collects every rank's data everywhere. Small payloads
+// funnel through rank 0 (gather, frame, broadcast); payloads at or
+// above the ring threshold circulate the ring instead, cutting the
+// per-rank traffic from O(M·n·log M) at the root to ~2·(M−1)/M·M·n
+// spread evenly. All ranks must present payloads on the same side of
+// the threshold (the lockstep contract already requires matched calls;
+// the decomposition's payloads are equal-sized by construction).
 func (w *Worker) AllGatherBytes(data []byte) ([][]byte, error) {
+	if w.useRing(len(data)) {
+		w.cc.ringGather.Inc()
+		return w.ringAllGather(data)
+	}
+	w.cc.funnelGather.Inc()
 	parts, err := w.GatherBytes(0, data)
 	if err != nil {
 		return nil, err
@@ -122,25 +231,50 @@ func (w *Worker) AllGatherBytes(data []byte) ([][]byte, error) {
 }
 
 // AllReduceSum sums the per-rank vectors elementwise and returns the
-// total to every rank: a binomial-tree reduction to rank 0 followed by
-// a binomial-tree broadcast of the canonical sum. Every rank observes
-// the identical (bitwise) result because a single summation tree is
-// used, and no rank handles more than ⌈log₂ M⌉ messages per phase.
+// total to every rank, leaving vec untouched. Hot paths should prefer
+// AllReduceSumInPlace, which this wraps.
+func (w *Worker) AllReduceSum(vec []float64) ([]float64, error) {
+	out := append([]float64(nil), vec...)
+	if err := w.AllReduceSumInPlace(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AllReduceSumInPlace overwrites vec on every rank with the elementwise
+// sum across ranks. Small vectors take a binomial-tree reduction to
+// rank 0 followed by a tree broadcast of the canonical sum; vectors at
+// or above the ring threshold take a ring reduce-scatter plus ring
+// all-gather (ring.go), which is bandwidth-optimal. Both paths are
+// deterministic — a single summation order per element, identical bits
+// on every rank — though the two paths group the additions differently,
+// so results are reproducible per path, not across a threshold change.
 // This is the all-to-all reduction of the paper's Section IV-B3, used
 // to aggregate the partial Gram matrices ÃᵀA₀ and A₀ᵀA₀ across
 // partitions.
-func (w *Worker) AllReduceSum(vec []float64) ([]float64, error) {
-	tag := w.nextTag("reduce")
-	acc := append([]float64(nil), vec...)
-	// Binomial-tree reduce: in round `bit`, ranks with that bit set
-	// push their accumulator one level up and drop out.
+func (w *Worker) AllReduceSumInPlace(vec []float64) error {
+	if w.useRing(8*len(vec)) && len(vec) >= w.size {
+		w.cc.ringReduce.Inc()
+		return w.ringAllReduceSum(vec)
+	}
+	w.cc.treeReduce.Inc()
+	return w.treeAllReduceSum(vec)
+}
+
+// treeAllReduceSum is the binomial-tree all-reduce: in round `bit`,
+// ranks with that bit set push their accumulator one level up and drop
+// out; rank 0 then broadcasts the canonical sum. Payloads ride pooled
+// buffers, so the steady state allocates nothing.
+func (w *Worker) treeAllReduceSum(vec []float64) error {
+	tag := w.StreamTag("reduce")
 	for bit := 1; bit < w.size; bit <<= 1 {
 		if w.rank&bit != 0 {
-			if err := w.Send(w.rank-bit, tag, EncodeFloat64s(acc)); err != nil {
-				return nil, err
+			buf := w.GetBuf(8 * len(vec))
+			PutFloat64s(buf, vec)
+			if err := w.SendPooled(w.rank-bit, tag, buf); err != nil {
+				return err
 			}
-			acc = nil // handed off; wait for the broadcast below
-			break
+			break // handed off; wait for the canonical sum below
 		}
 		peer := w.rank + bit
 		if peer >= w.size {
@@ -148,37 +282,25 @@ func (w *Worker) AllReduceSum(vec []float64) ([]float64, error) {
 		}
 		payload, err := w.Recv(peer, tag)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		vals, err := DecodeFloat64s(payload)
-		if err != nil {
-			return nil, err
+		if len(payload) != 8*len(vec) {
+			return fmt.Errorf("cluster: allreduce rank %d contributed %d bytes, want %d", peer, len(payload), 8*len(vec))
 		}
-		if len(vals) != len(acc) {
-			return nil, fmt.Errorf("cluster: allreduce rank %d contributed %d values, want %d", peer, len(vals), len(acc))
-		}
-		for i, v := range vals {
-			acc[i] += v
-		}
+		AddFloat64s(vec, payload)
+		w.PutBuf(payload)
 	}
-	var payload []byte
-	if w.rank == 0 {
-		payload = EncodeFloat64s(acc)
-	}
-	payload, err := w.BroadcastBytes(0, payload)
-	if err != nil {
-		return nil, err
-	}
-	return DecodeFloat64s(payload)
+	return w.bcastFloat64s(vec, w.StreamTag("reduce/bc"))
 }
 
-// ReduceScalarSum is AllReduceSum for a single value.
+// ReduceScalarSum is AllReduceSum for a single value, through the
+// worker's persistent one-element scratch.
 func (w *Worker) ReduceScalarSum(x float64) (float64, error) {
-	out, err := w.AllReduceSum([]float64{x})
-	if err != nil {
+	w.scalar[0] = x
+	if err := w.AllReduceSumInPlace(w.scalar[:]); err != nil {
 		return 0, err
 	}
-	return out[0], nil
+	return w.scalar[0], nil
 }
 
 // encodeFrames packs a list of byte slices with uint32 length prefixes.
@@ -206,7 +328,13 @@ func decodeFrames(b []byte) ([][]byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(b)
 	b = b[4:]
-	out := make([][]byte, 0, n)
+	// Every frame costs at least a 4-byte header, which bounds any
+	// honest count; a corrupt header cannot force a huge preallocation.
+	capHint := n
+	if max := uint32(len(b)/4) + 1; capHint > max {
+		capHint = max
+	}
+	out := make([][]byte, 0, capHint)
 	for i := uint32(0); i < n; i++ {
 		if len(b) < 4 {
 			return nil, fmt.Errorf("cluster: truncated frame header at %d", i)

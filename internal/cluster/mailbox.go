@@ -20,18 +20,55 @@ type mailKey struct {
 	tag  string
 }
 
+// msgQueue is one (sender, tag) FIFO. Popped slots are nil'd out and
+// the backing array is compacted and reused across drain cycles, so
+// steady-state traffic never reallocates.
+type msgQueue struct {
+	buf  [][]byte
+	head int
+}
+
+func (q *msgQueue) push(p []byte) {
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, p)
+}
+
+func (q *msgQueue) pop() []byte {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	return p
+}
+
+func (q *msgQueue) empty() bool { return q.head == len(q.buf) }
+
 // mailbox demultiplexes incoming messages into per-(sender, tag) FIFO
 // queues so a worker can wait for exactly the message it needs
-// regardless of arrival interleaving.
+// regardless of arrival interleaving. Queues drained empty go back to a
+// spare list (and lose their map entry), so one-shot counter tags do
+// not leak memory while the recurring stream tags cycle through the
+// same queue structs allocation-free.
+//
+// Receives are single-consumer by the Worker contract (one goroutine
+// per rank); deliveries may come from any goroutine.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queues map[mailKey][][]byte
+	queues map[mailKey]*msgQueue
+	spare  []*msgQueue
+	timer  *time.Timer // persistent wake-up timer for bounded receives
 	err    error
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{queues: make(map[mailKey][][]byte)}
+	m := &mailbox{queues: make(map[mailKey]*msgQueue)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -40,7 +77,18 @@ func newMailbox() *mailbox {
 func (m *mailbox) deliver(from int, tag string, payload []byte) {
 	m.mu.Lock()
 	k := mailKey{from, tag}
-	m.queues[k] = append(m.queues[k], payload)
+	q := m.queues[k]
+	if q == nil {
+		if n := len(m.spare); n > 0 {
+			q = m.spare[n-1]
+			m.spare[n-1] = nil
+			m.spare = m.spare[:n-1]
+		} else {
+			q = &msgQueue{}
+		}
+		m.queues[k] = q
+	}
+	q.push(payload)
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
@@ -55,35 +103,86 @@ func (m *mailbox) fail(err error) {
 	m.cond.Broadcast()
 }
 
+// take pops the queue's head and recycles the queue once drained.
+// Caller holds mu.
+func (m *mailbox) take(k mailKey, q *msgQueue) []byte {
+	p := q.pop()
+	if q.empty() {
+		delete(m.queues, k)
+		q.buf = q.buf[:0]
+		q.head = 0
+		m.spare = append(m.spare, q)
+	}
+	return p
+}
+
+// wake is the timer callback; broadcasting without the lock is safe.
+func (m *mailbox) wake() { m.cond.Broadcast() }
+
+// arm starts (or restarts) the mailbox's shared timeout timer. One
+// timer suffices because receives are single-consumer. Caller holds mu.
+func (m *mailbox) arm(timeout time.Duration) {
+	if m.timer == nil {
+		m.timer = time.AfterFunc(timeout, m.wake)
+	} else {
+		m.timer.Reset(timeout)
+	}
+}
+
 // recv waits for a message from the given sender and tag, up to the
-// timeout (no timeout when zero). A background timer wakes the
-// condition variable so timeouts fire even with no traffic.
+// timeout (no timeout when zero). The shared timer wakes the condition
+// variable so timeouts fire even with no traffic.
 func (m *mailbox) recv(from int, tag string, timeout time.Duration) ([]byte, error) {
 	k := mailKey{from, tag}
-	var deadline time.Time
-	var timer *time.Timer
-	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
-		timer = time.AfterFunc(timeout, m.cond.Broadcast)
-		defer timer.Stop()
-	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		m.arm(timeout)
+		defer m.timer.Stop()
+	}
 	for {
-		if q := m.queues[k]; len(q) > 0 {
-			payload := q[0]
-			if len(q) == 1 {
-				delete(m.queues, k)
-			} else {
-				m.queues[k] = q[1:]
-			}
-			return payload, nil
+		if q := m.queues[k]; q != nil && !q.empty() {
+			return m.take(k, q), nil
 		}
 		if m.err != nil {
 			return nil, m.err
 		}
 		if timeout > 0 && time.Now().After(deadline) {
 			return nil, fmt.Errorf("%w: from %d tag %q", ErrTimeout, from, tag)
+		}
+		m.cond.Wait()
+	}
+}
+
+// recvAny waits for a message carrying the tag from any of the listed
+// senders, returning the index into `from` of the sender whose message
+// was taken. When several senders have queued messages the lowest index
+// wins; only the head of each sender's FIFO is eligible, so a sender
+// running ahead into the next operation on the same stream cannot be
+// consumed twice in one round.
+func (m *mailbox) recvAny(tag string, from []int, timeout time.Duration) (int, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		m.arm(timeout)
+		defer m.timer.Stop()
+	}
+	for {
+		for i, f := range from {
+			k := mailKey{f, tag}
+			if q := m.queues[k]; q != nil && !q.empty() {
+				return i, m.take(k, q), nil
+			}
+		}
+		if m.err != nil {
+			return -1, nil, m.err
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return -1, nil, fmt.Errorf("%w: any of %v tag %q", ErrTimeout, from, tag)
 		}
 		m.cond.Wait()
 	}

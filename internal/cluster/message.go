@@ -42,6 +42,36 @@ func EncodeFloat64s(vals []float64) []byte {
 	return out
 }
 
+// PutFloat64s encodes vals little-endian into dst, which must be
+// exactly 8*len(vals) bytes (typically a pooled buffer from
+// Worker.GetBuf). It is the allocation-free form of EncodeFloat64s.
+func PutFloat64s(dst []byte, vals []float64) {
+	_ = dst[:8*len(vals)]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+	}
+}
+
+// CopyFloat64s decodes a payload written by PutFloat64s/EncodeFloat64s
+// into dst without allocating; the payload must hold at least len(dst)
+// values.
+func CopyFloat64s(dst []float64, b []byte) {
+	_ = b[:8*len(dst)]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+}
+
+// AddFloat64s accumulates a float64 payload into dst elementwise — the
+// in-place reduction step of the collectives; the payload must hold at
+// least len(dst) values.
+func AddFloat64s(dst []float64, b []byte) {
+	_ = b[:8*len(dst)]
+	for i := range dst {
+		dst[i] += math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+}
+
 // DecodeFloat64s unpacks a payload written by EncodeFloat64s.
 func DecodeFloat64s(b []byte) ([]float64, error) {
 	if len(b)%8 != 0 {

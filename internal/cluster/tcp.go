@@ -255,6 +255,8 @@ type TCPNode struct {
 	jitter      jitterSource
 	runs        atomic.Int64
 	hb          atomic.Pointer[heartbeat]
+	pool        *bufPool
+	ringThresh  int
 
 	// sendHook and fault must be installed before any sends (Run,
 	// StartHeartbeat); they are read without locks on the send path.
@@ -385,6 +387,8 @@ func JoinTCPRetry(coordAddr, listenAddr string, timeout time.Duration, policy Re
 		retry:       policy,
 		conns:       make(map[int]*peerConn),
 		closed:      make(chan struct{}),
+		pool:        newBufPool(),
+		ringThresh:  DefaultRingThreshold,
 	}
 	n.obs.Trace.SetRank(reply.Rank)
 	n.tc = newTransportCounters(n.obs)
@@ -401,6 +405,13 @@ func (n *TCPNode) Size() int { return n.size }
 
 // SetRecvTimeout overrides the node's receive timeout (zero disables).
 func (n *TCPNode) SetRecvTimeout(d time.Duration) { n.recvTimeout = d }
+
+// SetRingThreshold overrides the payload size, in bytes, at which the
+// all-reduce and all-gather collectives leave the binomial tree for the
+// bandwidth-optimal ring (values <= 0 disable the ring path). Every
+// node of a cluster must use the same value — path selection must
+// agree across ranks. Must be called before Run.
+func (n *TCPNode) SetRingThreshold(bytes int) { n.ringThresh = bytes }
 
 // SetRetryPolicy overrides the dial/reconnect policy. Must be called
 // before Run or StartHeartbeat.
@@ -629,7 +640,7 @@ func (n *TCPNode) Run(fn func(*Worker) error) (*RunStats, error) {
 	// bleed into each other.
 	base := n.metrics.snapshot()
 	obsBase := n.obs.Baseline()
-	w := &Worker{
+	cfg := workerConfig{
 		rank:        n.rank,
 		size:        n.size,
 		mbox:        n.mbox,
@@ -638,10 +649,14 @@ func (n *TCPNode) Run(fn func(*Worker) error) (*RunStats, error) {
 		obs:         n.obs,
 		recvTimeout: n.recvTimeout,
 		sendFn:      n.send,
+		bufs:        n.pool,
+		poolShared:  false, // gob copies payloads at the wire; senders recycle
+		ringThresh:  n.ringThresh,
 	}
 	if epoch > 0 {
-		w.tagEpoch = fmt.Sprintf("e%d|", epoch)
+		cfg.tagEpoch = fmt.Sprintf("e%d|", epoch)
 	}
+	w := newWorker(cfg)
 	start := time.Now()
 	err := fn(w)
 	snap := n.obs.SnapshotSince(obsBase)

@@ -127,6 +127,7 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 			}
 		}
 	}
+	exch := dplan.NewExchanger(w, j.plan)
 	tmp := make([]float64, r)
 	prev := math.Inf(1)
 	trace := make([]float64, 0, j.opts.MaxIters)
@@ -136,7 +137,7 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 			rt.mode, rt.owned = m, j.plan.OwnedSlices[m][me]
 			pool.For(len(rt.owned), rt)
 			w.AddWork(workPerMode[m])
-			if err := dplan.ExchangeRows(w, j.plan, m, full[m], false); err != nil {
+			if err := exch.Exchange(m, full[m], false); err != nil {
 				return err
 			}
 		}

@@ -15,12 +15,10 @@ import (
 // updates, Gram partials and their application, and both halves of the
 // Eq. (4) loss — performs zero heap allocations at steady state.
 //
-// The transport collectives (AllReduceSum's reduced vector, the gob row
-// exchange) are deliberately outside the measured region: they allocate
-// by design in the Local transport and are exercised by the cluster
-// package's own tests. With Workers=1 the local Gram partial batch IS
-// the global sum, so feeding it back through applyGramSums reproduces
-// the algorithm's state transitions exactly.
+// With Workers=1 the local Gram partial batch IS the global sum, so
+// feeding it back through applyGramSums reproduces the algorithm's
+// state transitions exactly, isolating the compute path; the transport
+// collectives are covered by TestDistributedSweepAllocFree below.
 func TestWorkerComputePathAllocFree(t *testing.T) {
 	for _, threads := range []int{1, 4} {
 		t.Run(fmt.Sprintf("threads=%d", threads), func(t *testing.T) {
@@ -85,6 +83,113 @@ func testWorkerComputePathAllocFree(t *testing.T, threads int) {
 		return nil
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDistributedSweepAllocFree extends the zero-allocation guarantee
+// across the transport: a full multi-rank steady-state sweep — MTTKRP,
+// solves, the batched Gram all-reduce, the subscription row exchange,
+// and the scalar loss reduction — performs zero heap allocations on the
+// Local transport, on both the tree and ring collective paths. Every
+// rank measures concurrently, and AllocsPerRun counts process-global
+// mallocs, so a zero here means no rank allocated anywhere in the
+// overlapping measurement windows.
+func TestDistributedSweepAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		threads    int
+		ringThresh int
+	}{
+		{"tree/threads=1", 1, 0}, // default threshold keeps the 3R² batch on the tree
+		{"tree/threads=4", 4, 0},
+		{"ring/threads=1", 1, 8}, // force the Gram batch onto the ring path
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			testDistributedSweepAllocFree(t, tc.threads, tc.ringThresh)
+		})
+	}
+}
+
+func testDistributedSweepAllocFree(t *testing.T, threads, ringThresh int) {
+	const workers = 3 // odd: exercises the uneven tree and ring segment split
+	full := sparseRandom([]int{12, 10, 8}, 600, 5)
+	prevSnap := full.Prefix([]int{9, 8, 6})
+	opts := Options{Rank: 3, MaxIters: 5, Mu: 0.7, Seed: 11, Workers: workers, Threads: threads, Method: partition.GTPMethod}
+	prev, _, err := dtd.Init(prevSnap, dtd.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Mu: opts.Mu, Seed: opts.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewStepJob(prev, full, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := cluster.NewLocal(workers)
+	if ringThresh > 0 {
+		cl.SetRingThreshold(ringThresh)
+	}
+	perRank := make([]float64, workers)
+	if _, err := cl.Run(func(w *cluster.Worker) error {
+		st := newWorkerState(job, w)
+		defer st.close()
+		n := len(st.full)
+		for m := 0; m < n; m++ {
+			if err := st.reduceGrams(m); err != nil {
+				return err
+			}
+		}
+		// One rank's steady-state sweep, fully instrumented, collectives
+		// and exchange included. Every rank runs pass the same number of
+		// times (one warm-up here, one inside AllocsPerRun, then the
+		// measured runs), so the lockstep collective contract holds
+		// across the concurrent measurements.
+		var passErr error
+		pass := func() {
+			if passErr != nil {
+				return // a failed rank stops participating; peers unblock via poisoning
+			}
+			for m := 0; m < n; m++ {
+				sp := st.obs.Span(st.names[m].mttkrp)
+				st.mttkrpMode(m)
+				sp.End()
+				sp = st.obs.Span(st.names[m].solve)
+				st.denominators(m)
+				st.updateOwnedRows(m)
+				sp.End()
+				sp = st.obs.Span(st.names[m].allreduce)
+				err := st.reduceGrams(m)
+				sp.End()
+				if err == nil {
+					sp = st.obs.Span(st.names[m].exchange)
+					err = st.exch.Exchange(m, st.full[m], false)
+					sp.End()
+				}
+				if err != nil {
+					passErr = err
+					return
+				}
+			}
+			sp := st.obs.Span("loss")
+			_, err := st.loss()
+			sp.End()
+			if err != nil {
+				passErr = err
+			}
+		}
+		pass() // warm-up: workspaces, comm buffers, stream tags, mailbox queues
+		allocs := testing.AllocsPerRun(10, pass)
+		if passErr != nil {
+			return passErr
+		}
+		perRank[w.Rank()] = allocs
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for rank, a := range perRank {
+		if a != 0 {
+			t.Errorf("rank %d: steady-state distributed sweep allocates %v times per iteration, want 0", rank, a)
+		}
 	}
 }
 

@@ -344,6 +344,7 @@ type workerState struct {
 
 	g0p, g1p, crossp *mat.Dense // local Gram partials, zeroed each reduce
 	batch            []float64  // 3R² all-reduce payload, rebuilt in place
+	exch             *dplan.Exchanger
 
 	ownedOld, ownedNew [][]int32 // per-mode owned rows split at oldDims
 
@@ -383,6 +384,7 @@ func newWorkerState(j *StepJob, w *cluster.Worker) *workerState {
 		pool:  par.New(j.opts.Threads),
 	}
 	st.gpTask.st = st
+	st.exch = dplan.NewExchanger(w, j.plan)
 	st.wss = mat.NewWorkspaceSet(st.pool.Threads())
 	st.pk = mat.NewParKernels(st.pool, st.wss)
 	st.pacc = mttkrp.NewParAccumulator(st.pool, st.wss, w.Obs())
@@ -487,7 +489,7 @@ func (j *StepJob) RunWorker(w *cluster.Worker) error {
 
 			// 4. Push updated rows to subscribers.
 			sp = st.obs.Span(st.names[m].exchange)
-			err = dplan.ExchangeRows(w, j.plan, m, st.full[m], j.opts.BroadcastRows)
+			err = st.exch.Exchange(m, st.full[m], j.opts.BroadcastRows)
 			sp.End()
 			if err != nil {
 				return err
@@ -721,15 +723,16 @@ func (st *workerState) applyGramSums(mode int, sum []float64) {
 }
 
 // reduceGrams all-reduces the worker's Gram partials in one batched
-// vector and refreshes the mode's replicated state in place.
+// vector and refreshes the mode's replicated state in place. The
+// reduction is in-place over st.batch, so the collective rides pooled
+// transport buffers and nothing on this path allocates.
 func (st *workerState) reduceGrams(mode int) error {
 	st.gramPartials(mode)
 	st.cAllBytes.Add(int64(8 * len(st.batch)))
-	sum, err := st.w.AllReduceSum(st.batch)
-	if err != nil {
+	if err := st.w.AllReduceSumInPlace(st.batch); err != nil {
 		return err
 	}
-	st.applyGramSums(mode, sum)
+	st.applyGramSums(mode, st.batch)
 	return nil
 }
 

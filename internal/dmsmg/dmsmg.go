@@ -199,6 +199,7 @@ func (j *job) runWorker(w *cluster.Worker) error {
 	}
 	denom := mat.New(r, r)
 	hall := mat.New(r, r)
+	exch := dplan.NewExchanger(w, j.plan)
 	var lastM *mat.Dense
 	prevFit := math.Inf(-1)
 	trace := make([]float64, 0, j.opts.MaxIters)
@@ -215,7 +216,7 @@ func (j *job) runWorker(w *cluster.Worker) error {
 			if err := j.reduceGram(w, pool, gt, m, full[m], grams[m], gp); err != nil {
 				return err
 			}
-			if err := dplan.ExchangeRows(w, j.plan, m, full[m], false); err != nil {
+			if err := exch.Exchange(m, full[m], false); err != nil {
 				return err
 			}
 			lastM = M
@@ -312,12 +313,8 @@ func (j *job) reduceGram(w *cluster.Worker, pool *par.Pool, gt *gramRowsTask, mo
 	gt.factor, gt.g = nil, nil
 	owned := j.plan.OwnedSlices[mode][w.Rank()]
 	w.AddWork(float64(len(owned)) * float64(r) * float64(r))
-	sum, err := w.AllReduceSum(g.Data)
-	if err != nil {
-		return err
-	}
-	copy(gram.Data, sum)
-	return nil
+	copy(gram.Data, g.Data)
+	return w.AllReduceSumInPlace(gram.Data)
 }
 
 // gramRowsTask is the par.Body for reduceGram: rows [lo, hi) of the

@@ -22,6 +22,7 @@ import (
 
 	"dismastd/internal/cluster"
 	"dismastd/internal/mat"
+	"dismastd/internal/obs"
 	"dismastd/internal/partition"
 	"dismastd/internal/tensor"
 )
@@ -187,74 +188,102 @@ func (p *Plan) SetupBytes(rank int) int64 {
 	return entryBytes + rowBytes
 }
 
-// ExchangeRows pushes the freshly updated owned rows of factor (which
-// is the full mode-m matrix, locally replicated) to every subscriber
-// and pulls the rows this worker subscribes to. All workers must call
-// it in lockstep after updating mode m. When broadcast is true the full
-// owned row set goes to every other worker regardless of need — the
-// row-subscription ablation baseline.
-func ExchangeRows(w *cluster.Worker, p *Plan, mode int, factor *mat.Dense, broadcast bool) error {
-	me := w.Rank()
-	tag := w.UniqueTag(fmt.Sprintf("rows/%d", mode))
-	r := factor.Cols
-	sent := w.Obs().Counter("exchange.rows")
+// Exchanger carries the per-worker reusable state of the row exchange:
+// the per-mode stream tags, the pending-peer scratch list, and the
+// pooled framed buffers rows are encoded into. One Exchanger per
+// (worker, plan), used by that worker's goroutine only; a steady-state
+// Exchange performs zero heap allocations on the in-process transport.
+type Exchanger struct {
+	w       *cluster.Worker
+	p       *Plan
+	pending []int
+	sent    *obs.Counter
+}
 
-	sendRows := func(to int, rows []int32) error {
-		buf := make([]float64, 0, len(rows)*r)
-		for _, row := range rows {
-			buf = append(buf, factor.Row(int(row))...)
+// NewExchanger binds a worker to a plan for repeated row exchanges.
+func NewExchanger(w *cluster.Worker, p *Plan) *Exchanger {
+	return &Exchanger{
+		w:       w,
+		p:       p,
+		pending: make([]int, 0, w.Size()),
+		sent:    w.Obs().Counter("exchange.rows"),
+	}
+}
+
+// Exchange pushes the freshly updated owned rows of factor (which is
+// the full mode-m matrix, locally replicated) to every subscriber and
+// pulls the rows this worker subscribes to. All workers must call it in
+// lockstep after updating mode m. When broadcast is true the full owned
+// row set goes to every other worker regardless of need — the
+// row-subscription ablation baseline.
+//
+// Rows are packed directly into pooled transport buffers, and incoming
+// blocks are scattered in arrival order (RecvAny), which is safe
+// bitwise: each peer's block covers a disjoint row set, so the landing
+// order cannot change any value.
+func (e *Exchanger) Exchange(mode int, factor *mat.Dense, broadcast bool) error {
+	w, p := e.w, e.p
+	me := w.Rank()
+	tag := w.StreamTagIndexed("rows", mode)
+	r := factor.Cols
+
+	rowsFor := func(from, to int) []int32 {
+		if broadcast {
+			return p.OwnedSlices[mode][from]
 		}
-		sent.Add(int64(len(rows)))
-		return w.Send(to, tag, cluster.EncodeFloat64s(buf))
+		return p.SendLists[mode][from][to]
 	}
 
 	// Send phase: unbounded mailboxes make sends non-blocking, so all
 	// sends complete before any receive.
 	for s := 0; s < w.Size(); s++ {
-		if s == me {
+		rows := rowsFor(me, s)
+		if s == me || len(rows) == 0 {
 			continue
 		}
-		var rows []int32
-		if broadcast {
-			rows = p.OwnedSlices[mode][me]
-		} else {
-			rows = p.SendLists[mode][me][s]
+		buf := w.GetBuf(8 * len(rows) * r)
+		off := 0
+		for _, row := range rows {
+			cluster.PutFloat64s(buf[off:off+8*r], factor.Row(int(row)))
+			off += 8 * r
 		}
-		if len(rows) == 0 {
-			continue
-		}
-		if err := sendRows(s, rows); err != nil {
+		e.sent.Add(int64(len(rows)))
+		if err := w.SendPooled(s, tag, buf); err != nil {
 			return err
 		}
 	}
-	// Receive phase: scatter incoming rows into the local replica.
+	// Receive phase: scatter incoming rows into the local replica as
+	// the blocks arrive, whatever the peer order.
+	e.pending = e.pending[:0]
 	for o := 0; o < w.Size(); o++ {
-		if o == me {
-			continue
+		if o != me && len(rowsFor(o, me)) > 0 {
+			e.pending = append(e.pending, o)
 		}
-		var rows []int32
-		if broadcast {
-			rows = p.OwnedSlices[mode][o]
-		} else {
-			rows = p.SendLists[mode][o][me]
-		}
-		if len(rows) == 0 {
-			continue
-		}
-		payload, err := w.Recv(o, tag)
+	}
+	for len(e.pending) > 0 {
+		i, payload, err := w.RecvAny(tag, e.pending)
 		if err != nil {
 			return err
 		}
-		vals, err := cluster.DecodeFloat64s(payload)
-		if err != nil {
-			return err
+		o := e.pending[i]
+		e.pending[i] = e.pending[len(e.pending)-1]
+		e.pending = e.pending[:len(e.pending)-1]
+		rows := rowsFor(o, me)
+		if len(payload) != 8*len(rows)*r {
+			return fmt.Errorf("dplan: row exchange from %d mode %d: %d bytes for %d rows", o, mode, len(payload), len(rows))
 		}
-		if len(vals) != len(rows)*r {
-			return fmt.Errorf("dplan: row exchange from %d mode %d: %d values for %d rows", o, mode, len(vals), len(rows))
+		off := 0
+		for _, row := range rows {
+			cluster.CopyFloat64s(factor.Row(int(row)), payload[off:off+8*r])
+			off += 8 * r
 		}
-		for i, row := range rows {
-			copy(factor.Row(int(row)), vals[i*r:(i+1)*r])
-		}
+		w.PutBuf(payload)
 	}
 	return nil
+}
+
+// ExchangeRows is the one-shot form of Exchanger.Exchange, for callers
+// outside the steady-state sweep.
+func ExchangeRows(w *cluster.Worker, p *Plan, mode int, factor *mat.Dense, broadcast bool) error {
+	return NewExchanger(w, p).Exchange(mode, factor, broadcast)
 }

@@ -1,0 +1,112 @@
+package goldens
+
+import (
+	"testing"
+
+	"dismastd/internal/cluster"
+	"dismastd/internal/core"
+	"dismastd/internal/mat"
+	"dismastd/internal/partition"
+)
+
+// The distributed step must be bitwise reproducible on BOTH collective
+// paths. The tree path is pinned to the recorded golden (the default
+// threshold keeps the small Gram batches on the tree, so
+// TestCoreStepGolden's hashes stay valid); the ring path groups the
+// same sums differently — a different but equally deterministic bit
+// pattern — so it is pinned to itself: repeated runs at a fixed cluster
+// size must agree exactly, and must diverge from nothing run to run.
+
+func runStepAt(t *testing.T, ringThresh int) uint64 {
+	t.Helper()
+	prev, full, opts := dtdFixture(t)
+	job, err := core.NewStepJob(prev, full, core.Options{
+		Rank: opts.Rank, MaxIters: opts.MaxIters, Mu: opts.Mu, Seed: opts.Seed,
+		Workers: 3, Method: partition.GTPMethod,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.NewLocal(job.Workers())
+	cl.SetRingThreshold(ringThresh)
+	stats, err := cl.Run(job.RunWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rk := range stats.Ranks {
+		c := rk.Obs.Metrics.Counters
+		tree, ring := c["comm.allreduce.tree"], c["comm.allreduce.ring"]
+		if ringThresh == 1 && ring == 0 {
+			t.Fatalf("rank %d: ring threshold 1 but no ring all-reduce ran (tree=%d)", r, tree)
+		}
+		if ringThresh != 1 && ring != 0 {
+			t.Fatalf("rank %d: default threshold but %d ring all-reduces ran", r, ring)
+		}
+	}
+	st, _, err := job.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hashFactors(st.Factors)
+}
+
+func TestCoreStepRingDeterministic(t *testing.T) {
+	// Tree path (default threshold): must still match the recorded
+	// golden — the ring feature must not perturb it.
+	if h := runStepAt(t, cluster.DefaultRingThreshold); h != goldCoreGTP {
+		t.Errorf("tree-path step hash %#x, want golden %#x", h, goldCoreGTP)
+	}
+	// Ring path: run-to-run bitwise identical at fixed cluster size.
+	first := runStepAt(t, 1)
+	if again := runStepAt(t, 1); again != first {
+		t.Errorf("ring-path step not reproducible: %#x then %#x", first, again)
+	}
+}
+
+// TestCoreStepRingConvergesLikeTree checks the ring path computes the
+// same decomposition up to floating-point regrouping: the factors from
+// the two paths agree to tight tolerance even though their bits differ.
+func TestCoreStepRingConvergesLikeTree(t *testing.T) {
+	step := func(ringThresh int) []*mat.Dense {
+		prev, full, opts := dtdFixture(t)
+		job, err := core.NewStepJob(prev, full, core.Options{
+			Rank: opts.Rank, MaxIters: opts.MaxIters, Mu: opts.Mu, Seed: opts.Seed,
+			Workers: 3, Method: partition.GTPMethod,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := cluster.NewLocal(job.Workers())
+		cl.SetRingThreshold(ringThresh)
+		if _, err := cl.Run(job.RunWorker); err != nil {
+			t.Fatal(err)
+		}
+		st, _, err := job.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Factors
+	}
+	tree, ring := step(cluster.DefaultRingThreshold), step(1)
+	for m := range tree {
+		for i, tv := range tree[m].Data {
+			rv := ring[m].Data[i]
+			diff := tv - rv
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := 1.0
+			if s := tv; s < 0 {
+				s = -s
+				if s > scale {
+					scale = s
+				}
+			} else if tv > scale {
+				scale = tv
+			}
+			if diff > 1e-9*scale {
+				t.Fatalf("mode %d entry %d: tree %v vs ring %v", m, i, tv, rv)
+			}
+		}
+	}
+}
