@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -72,6 +73,12 @@ type workerConfig struct {
 	chaosKillStep int
 	debugAddr     string
 	ringThreshold int
+
+	elastic bool
+	members int
+	joinAt  map[int]int // step -> joining world rank
+	drainAt map[int]int // step -> draining world rank
+	killAt  map[int]int // step -> chaos-killed world rank
 }
 
 // resolveThreads maps the -threads flag to a pool size: 0 means one
@@ -107,6 +114,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	chaosKill := fs.Int("chaos-kill-step", -1, "chaos testing: close the node and exit right before this step")
 	ringThreshold := fs.Int("ring-threshold", cluster.DefaultRingThreshold, "payload bytes at which collectives switch from the tree to the ring path (<= 0 disables the ring; must match on every rank)")
 	debugAddr := fs.String("debug-addr", "", "worker mode: serve pprof, metrics, and trace debug endpoints on this address (no auth — bind loopback only; empty = off)")
+	elastic := fs.Bool("elastic", false, "worker mode: run the elastic membership driver (survive rank deaths, admit joins and drains at step fences)")
+	members := fs.Int("members", 0, "elastic mode: initial members, world ranks 0..N-1 (0 = every rank; the rest start as spares)")
+	joinAt := fs.String("join-at", "", "elastic mode: scripted joins as rank:step,... — identical on every rank")
+	drainAt := fs.String("drain-at", "", "elastic mode: scripted drains as rank:step,... — identical on every rank")
+	killAt := fs.String("kill-at", "", "elastic mode: chaos-kill script as rank:step,... — the named rank crashes mid-step; identical on every rank")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,6 +155,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *resume && *checkpoint == "" {
 			return fmt.Errorf("-resume requires -checkpoint")
 		}
+		joins, err := parseRankSteps(*joinAt)
+		if err != nil {
+			return fmt.Errorf("-join-at: %w", err)
+		}
+		drains, err := parseRankSteps(*drainAt)
+		if err != nil {
+			return fmt.Errorf("-drain-at: %w", err)
+		}
+		kills, err := parseRankSteps(*killAt)
+		if err != nil {
+			return fmt.Errorf("-kill-at: %w", err)
+		}
+		if !*elastic && (len(joins)+len(drains)+len(kills) > 0 || *members != 0) {
+			return fmt.Errorf("-members/-join-at/-drain-at/-kill-at require -elastic")
+		}
 		cfg := workerConfig{
 			join: *join, listen: *listen,
 			tensors:  strings.Split(*tensorPath, ","),
@@ -151,6 +178,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			rank: *rank, iters: *iters, threads: resolveThreads(*threads), mu: *mu, method: pm, seed: *seed,
 			timeout: *timeout, heartbeat: *heartbeat, chaosKillStep: *chaosKill,
 			debugAddr: *debugAddr, ringThreshold: *ringThreshold,
+			elastic: *elastic, members: *members,
+			joinAt: joins, drainAt: drains, killAt: kills,
 		}
 		return runWorker(stdout, stderr, cfg)
 	default:
@@ -178,7 +207,9 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 	}
 	start := 0
 	if cfg.resume {
-		st, step, err := latestCheckpoint(cfg.checkpoint, len(snaps))
+		st, step, err := latestCheckpoint(cfg.checkpoint, len(snaps), func(step int, err error) {
+			logger.Warn("ignoring damaged checkpoint", "step", step, "err", err)
+		})
 		if err != nil {
 			return err
 		}
@@ -210,6 +241,9 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 		}
 		defer srv.Close()
 		log.Info("debug endpoints serving", "addr", addr.String())
+	}
+	if cfg.elastic {
+		return runElasticWorker(stdout, log, node, cfg, snaps, prev, start)
 	}
 
 	for step := start; step < len(snaps); step++ {
@@ -286,6 +320,108 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 	return nil
 }
 
+// runElasticWorker drives the whole snapshot stream through the
+// elastic membership driver in a single cluster run: scripted joins
+// and drains are admitted at step fences, real (or -kill-at scripted)
+// rank deaths are recovered mid-step by the survivors, and whichever
+// rank ends as the final view's rank 0 writes the result. Crash
+// recovery needs -heartbeat so deaths surface as typed peer-down
+// errors instead of receive timeouts.
+func runElasticWorker(stdout io.Writer, log *slog.Logger, node *cluster.TCPNode, cfg workerConfig, snaps []*tensor.Tensor, prev *dtd.State, start int) error {
+	members := cfg.members
+	if members == 0 {
+		members = node.Size()
+	}
+	// A resumed run re-indexes the script against the remaining
+	// snapshots; events for already-checkpointed steps are dropped.
+	shift := func(script map[int]int) map[int]int {
+		out := map[int]int{}
+		for s, r := range script {
+			if s >= start {
+				out[s-start] = r
+			}
+		}
+		return out
+	}
+	o := core.ElasticOptions{
+		Options: core.Options{
+			Rank: cfg.rank, MaxIters: cfg.iters, Mu: cfg.mu, Seed: cfg.seed,
+			Method: cfg.method, Threads: cfg.threads, Obs: node.Obs(),
+		},
+		World:       node.Size(),
+		Members:     members,
+		KillAtStep:  shift(cfg.killAt),
+		JoinAtStep:  shift(cfg.joinAt),
+		DrainAtStep: shift(cfg.drainAt),
+	}
+	if cfg.checkpoint != "" {
+		o.Checkpoint = func(step int, st *dtd.State) error {
+			if step == 0 {
+				return nil // the state entering step 0 is the run's input, already on disk
+			}
+			abs := start + step - 1
+			if err := writeCheckpoint(cfg.checkpoint, abs, st); err != nil {
+				return err
+			}
+			log.Info("checkpoint written", "step", abs, "path", checkpointPath(cfg.checkpoint, abs))
+			return nil
+		}
+	}
+	job, err := core.NewElasticJob(prev, snaps[start:], o)
+	if err != nil {
+		return err
+	}
+	stats, runErr := node.Run(job.RunWorker)
+	if st, loss, transitions, err := job.Result(); err == nil {
+		// This rank ended as the final view's rank 0 and holds the state.
+		fmt.Fprintf(stdout, "rank %d: final loss=%.6g transitions=%d\n", node.Rank(), loss, len(transitions))
+		if cfg.outPath != "" {
+			f, err := os.Create(cfg.outPath)
+			if err != nil {
+				return err
+			}
+			if err := dtd.WriteState(f, st); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			log.Info("state written", "path", cfg.outPath)
+		}
+	}
+	if runErr != nil {
+		return fmt.Errorf("rank %d elastic run: %w", node.Rank(), runErr)
+	}
+	log.Info("elastic run done", "wall", stats.Wall.Round(time.Millisecond))
+	return nil
+}
+
+// parseRankSteps parses a "rank:step,rank:step" membership script with
+// at most one event of its kind per step.
+func parseRankSteps(s string) (map[int]int, error) {
+	out := map[int]int{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		rs, ss, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not rank:step", part)
+		}
+		rank, err1 := strconv.Atoi(rs)
+		step, err2 := strconv.Atoi(ss)
+		if err1 != nil || err2 != nil || rank < 0 || step < 0 {
+			return nil, fmt.Errorf("entry %q is not rank:step", part)
+		}
+		if _, dup := out[step]; dup {
+			return nil, fmt.Errorf("two events at step %d", step)
+		}
+		out[step] = rank
+	}
+	return out, nil
+}
+
 // startDebugServer serves the node's observability debug endpoints
 // (net/http/pprof, /debug/metrics, /debug/phases, /debug/trace) on addr
 // until the returned server is closed. The endpoints carry no
@@ -326,12 +462,21 @@ func writeCheckpoint(prefix string, step int, st *dtd.State) error {
 	return os.Rename(tmp, path)
 }
 
-// latestCheckpoint finds the highest completed step's state, or
-// (nil, -1, nil) when no checkpoint exists yet.
-func latestCheckpoint(prefix string, steps int) (*dtd.State, int, error) {
+// latestCheckpoint finds the highest completed step's readable state,
+// falling back past damaged files: a corrupt or truncated checkpoint
+// (a torn write on a non-atomic filesystem, a bad disk) costs only the
+// steps it covered, not the whole run. Returns (nil, -1, nil) when no
+// checkpoint survives.
+func latestCheckpoint(prefix string, steps int, warn func(step int, err error)) (*dtd.State, int, error) {
 	for step := steps - 1; step >= 0; step-- {
 		st, err := readStateFile(checkpointPath(prefix, step))
 		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if errors.Is(err, dtd.ErrCorruptState) {
+			if warn != nil {
+				warn(step, err)
+			}
 			continue
 		}
 		if err != nil {

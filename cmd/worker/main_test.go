@@ -233,6 +233,124 @@ func TestKillAndResume(t *testing.T) {
 	}
 }
 
+// TestResumeFallsBackPastCorruptCheckpoint: -resume must treat a
+// damaged checkpoint as lost work, not a fatal error — the latest
+// *readable* checkpoint wins, and only genuinely unreadable chains
+// start from scratch.
+func TestResumeFallsBackPastCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "ckpt")
+	for step := 0; step < 2; step++ {
+		st := &dtd.State{Dims: []int{2}, Factors: []*mat.Dense{mat.New(2, 2)}}
+		st.Factors[0].Data[0] = float64(step + 1)
+		if err := writeCheckpoint(prefix, step, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip one payload byte in the newest checkpoint.
+	path := checkpointPath(prefix, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warned []int
+	st, step, err := latestCheckpoint(prefix, 2, func(step int, err error) {
+		warned = append(warned, step)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 0 || st == nil || st.Factors[0].Data[0] != 1 {
+		t.Fatalf("fell back to step %d (state %v), want the intact step 0", step, st)
+	}
+	if len(warned) != 1 || warned[0] != 1 {
+		t.Fatalf("warned about steps %v, want [1]", warned)
+	}
+
+	// With every checkpoint damaged the resume starts from scratch.
+	if err := os.WriteFile(checkpointPath(prefix, 0), data[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, step, err = latestCheckpoint(prefix, 2, nil)
+	if err != nil || st != nil || step != -1 {
+		t.Fatalf("all-corrupt chain gave (%v, %d, %v), want (nil, -1, nil)", st, step, err)
+	}
+}
+
+// TestElasticWorkerJoinAndDrain runs the elastic driver across real TCP
+// processes: a world of four starts with three members, and at step 1's
+// fence spare rank 3 is admitted while member 1 drains out. Every rank
+// must exit cleanly and the final view's rank 0 must write the state.
+func TestElasticWorkerJoinAndDrain(t *testing.T) {
+	dir := t.TempDir()
+	snaps := writeSnapshots(t, dir)
+	state := filepath.Join(dir, "state.gob")
+	base := []string{
+		"-tensor", snaps[0] + "," + snaps[1],
+		"-rank", "3", "-iters", "3", "-seed", "5", "-timeout", "30s",
+		"-elastic", "-members", "3", "-join-at", "3:1", "-drain-at", "1:1",
+		"-out", state,
+	}
+	errs, out := runCluster(t, base, [][]string{nil, nil, nil, nil})
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if !strings.Contains(out, "final loss=") {
+		t.Fatalf("no final summary in %q", out)
+	}
+	st := readState(t, state)
+	if len(st.Dims) == 0 || st.Dims[0] == 0 {
+		t.Fatalf("written state has dims %v", st.Dims)
+	}
+}
+
+// TestElasticWorkerKillRecovers is the distributed chaos test: rank 1
+// crashes mid-sweep during the last step, the survivors detect it by
+// heartbeat, agree the shrunken view, absorb its rows, and finish the
+// stream without it — same cluster run, no restart.
+func TestElasticWorkerKillRecovers(t *testing.T) {
+	dir := t.TempDir()
+	snaps := writeSnapshots(t, dir)
+	state := filepath.Join(dir, "state.gob")
+	base := []string{
+		"-tensor", snaps[0] + "," + snaps[1],
+		"-rank", "3", "-iters", "3", "-seed", "5", "-timeout", "30s",
+		"-elastic", "-kill-at", "1:1", "-heartbeat", "150ms",
+		"-out", state,
+	}
+	errs, out := runCluster(t, base, [][]string{nil, nil, nil})
+	// Ranks are assigned by rendezvous arrival order, so the victim (node
+	// rank 1) is an arbitrary goroutine: exactly one scripted crash, no
+	// other failures.
+	crashes := 0
+	for w, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !strings.Contains(err.Error(), "scripted crash") {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+		crashes++
+	}
+	if crashes != 1 {
+		t.Fatalf("%d scripted crashes, want exactly 1: %v", crashes, errs)
+	}
+	if !strings.Contains(out, "final loss=") {
+		t.Fatalf("survivors produced no final summary: %q", out)
+	}
+	st := readState(t, state)
+	if len(st.Dims) == 0 || st.Dims[0] == 0 {
+		t.Fatalf("written state has dims %v", st.Dims)
+	}
+}
+
 func readState(t *testing.T, path string) *dtd.State {
 	t.Helper()
 	f, err := os.Open(path)

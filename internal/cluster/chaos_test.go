@@ -154,6 +154,80 @@ func TestChaosTCPTransientCutRecoversExactFactors(t *testing.T) {
 	}
 }
 
+// TestChaosTCPKillMidRingCollective kills a rank midway through a ring
+// all-reduce whose payload is above DefaultRingThreshold: rank 2's
+// second reduce-scatter send errors (fault injection), its node closes,
+// and the survivors — one blocked on the dead rank, the other blocked
+// head-of-line on a *live* neighbour that can make no progress — must
+// both surface a rank-attributed ErrPeerDown well before the receive
+// timeout instead of hanging in the ring.
+func TestChaosTCPKillMidRingCollective(t *testing.T) {
+	const workers = 3
+	nodes := startNodes(t, workers)
+	const interval = 25 * time.Millisecond
+	crash := errors.New("injected crash mid ring")
+	for _, n := range nodes {
+		n.SetRecvTimeout(60 * time.Second)
+		if err := n.StartHeartbeat(interval, 3); err != nil {
+			t.Fatal(err)
+		}
+		if n.Rank() == 2 {
+			// Seq 1 on the (2 -> 0) pair is rank 2's second ring block:
+			// the kill lands strictly inside the reduce-scatter phase,
+			// after the survivors have consumed its first block.
+			n.SetFaultPlan(cluster.NewFaultPlan().Add(cluster.FaultRule{
+				From: 2, To: 0, TagPrefix: "reduce/", FirstSeq: 1, Op: cluster.FaultError, Err: crash,
+			}))
+		}
+	}
+	start := time.Now()
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *cluster.TCPNode) {
+			defer wg.Done()
+			_, errs[i] = n.Run(func(w *cluster.Worker) error {
+				// 4096 floats = 32 KiB, far above the 4096-byte ring
+				// threshold.
+				vec := make([]float64, 4096)
+				for j := range vec {
+					vec[j] = float64(w.Rank())
+				}
+				return w.AllReduceSumInPlace(vec)
+			})
+			if n.Rank() == 2 {
+				n.Close() // the injected error "crashes" the process
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, n := range nodes {
+		if n.Rank() == 2 {
+			if !errors.Is(errs[i], crash) {
+				t.Fatalf("killed rank error = %v", errs[i])
+			}
+			continue
+		}
+		pd, ok := cluster.AsPeerDown(errs[i])
+		if !ok {
+			t.Fatalf("rank %d error = %v, want ErrPeerDown", n.Rank(), errs[i])
+		}
+		if pd.Rank != 2 {
+			t.Fatalf("rank %d blamed peer %d, want 2", n.Rank(), pd.Rank)
+		}
+		// The collective that died really was the ring path.
+		m := n.Obs().Reg.Snapshot().Counters
+		if m["comm.allreduce.ring"] != 1 {
+			t.Fatalf("rank %d allreduce.ring = %d, want 1", n.Rank(), m["comm.allreduce.ring"])
+		}
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("ring kill detection took %v", elapsed)
+	}
+}
+
 func TestChaosTCPKilledRankSurfacesPeerDown(t *testing.T) {
 	const workers = 3
 	snap := chaosTensor([]int{16, 14, 12}, 500, 31)

@@ -135,7 +135,17 @@ type Worker struct {
 	ringThresh  int  // bytes; <= 0 disables the ring collectives
 	scalar      [1]float64
 	cc          commCounters
-	work        float64
+	work        *float64 // shared with derived view workers (view.go)
+
+	// Elastic view mapping (view.go). world is nil on a root worker
+	// (rank == world rank, the identity the static hot path takes with
+	// zero overhead); on a view worker world[viewRank] is the underlying
+	// world rank and worldSelf is this worker's own world rank, which is
+	// what travels in Message.From so mailboxes and heartbeats stay
+	// world-keyed across view changes.
+	world        []int
+	worldSelf    int
+	worldScratch []int
 }
 
 // workerConfig collects what a transport must supply to assemble a
@@ -172,6 +182,8 @@ func newWorker(cfg workerConfig) *Worker {
 		poolShared:  cfg.poolShared,
 		ringThresh:  cfg.ringThresh,
 		cc:          newCommCounters(cfg.obs),
+		work:        new(float64),
+		worldSelf:   cfg.rank,
 	}
 }
 
@@ -205,8 +217,10 @@ func (w *Worker) Rank() int { return w.rank }
 func (w *Worker) Size() int { return w.size }
 
 // AddWork records abstract work units (the distributed algorithms count
-// floating-point operations). Single-goroutine by construction.
-func (w *Worker) AddWork(units float64) { w.work += units }
+// floating-point operations). Single-goroutine by construction; view
+// workers share the root worker's accumulator so RunStats sees the
+// whole run's work whatever the membership history.
+func (w *Worker) AddWork(units float64) { *w.work += units }
 
 // UniqueTag returns a tag namespaced by the worker's collective
 // counter. Like the collectives, calls must happen in the same order on
@@ -223,14 +237,23 @@ func (w *Worker) MetricsSnapshot() Metrics { return w.metrics.snapshot().sub(w.b
 // instrumentation); all obs handles are nil-safe.
 func (w *Worker) Obs() *obs.Obs { return w.obs }
 
+// worldOf maps a view rank to the underlying world rank (identity on a
+// root worker).
+func (w *Worker) worldOf(rank int) int {
+	if w.world == nil {
+		return rank
+	}
+	return w.world[rank]
+}
+
 // Send delivers payload to rank `to` under the given tag. Sending to
 // yourself is allowed and loops back through the mailbox.
 func (w *Worker) Send(to int, tag string, payload []byte) error {
 	if to < 0 || to >= w.size {
 		return fmt.Errorf("cluster: send to invalid rank %d of %d", to, w.size)
 	}
-	msg := Message{From: w.rank, Tag: tag, Payload: payload}
-	if err := w.sendFn(to, msg); err != nil {
+	msg := Message{From: w.worldSelf, Tag: tag, Payload: payload}
+	if err := w.sendFn(w.worldOf(to), msg); err != nil {
 		return fmt.Errorf("cluster: rank %d send to %d tag %q: %w", w.rank, to, tag, err)
 	}
 	w.metrics.addSent(msg.wireSize())
@@ -243,7 +266,7 @@ func (w *Worker) Recv(from int, tag string) ([]byte, error) {
 	if from < 0 || from >= w.size {
 		return nil, fmt.Errorf("cluster: recv from invalid rank %d of %d", from, w.size)
 	}
-	payload, err := w.mbox.recv(from, tag, w.recvTimeout)
+	payload, err := w.mbox.recv(w.worldOf(from), tag, w.recvTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: rank %d recv from %d tag %q: %w", w.rank, from, tag, err)
 	}
@@ -260,20 +283,67 @@ func (w *Worker) Recv(from int, tag string) ([]byte, error) {
 // running ahead into the next operation on the same stream is consumed
 // at most once per round.
 func (w *Worker) RecvAny(tag string, from []int) (int, []byte, error) {
-	if len(from) == 0 {
-		return -1, nil, fmt.Errorf("cluster: recv-any with no candidate ranks")
+	return w.recvAny(tag, from, true)
+}
+
+// RecvAnyAlive is RecvAny for control-plane receives that want *any
+// live* sender: candidates marked down are skipped instead of failing
+// the receive, which only errors once every candidate is down (or on a
+// timeout / mailbox poison). Joiners awaiting adoption use it because
+// they cannot know which world ranks have died while they idled.
+func (w *Worker) RecvAnyAlive(tag string, from []int) (int, []byte, error) {
+	return w.recvAny(tag, from, false)
+}
+
+func (w *Worker) recvAny(tag string, from []int, failDown bool) (int, []byte, error) {
+	cand, err := w.worldCandidates(from)
+	if err != nil {
+		return -1, nil, err
 	}
-	for _, f := range from {
-		if f < 0 || f >= w.size {
-			return -1, nil, fmt.Errorf("cluster: recv-any from invalid rank %d of %d", f, w.size)
-		}
-	}
-	i, payload, err := w.mbox.recvAny(tag, from, w.recvTimeout)
+	i, payload, err := w.mbox.recvAny(tag, cand, w.recvTimeout, failDown)
 	if err != nil {
 		return -1, nil, fmt.Errorf("cluster: rank %d recv-any tag %q: %w", w.rank, tag, err)
 	}
 	w.metrics.addRecvd(int64(len(payload)) + int64(len(tag)) + 8)
 	return i, payload, nil
+}
+
+// TryRecvAny polls for a queued message with the tag from any of the
+// listed ranks without blocking; ok is false when none is queued.
+// Control-plane only — membership fences drain join/drain requests with
+// it between steps.
+func (w *Worker) TryRecvAny(tag string, from []int) (int, []byte, bool) {
+	cand, err := w.worldCandidates(from)
+	if err != nil {
+		return -1, nil, false
+	}
+	i, payload, ok := w.mbox.poll(tag, cand)
+	if ok {
+		w.metrics.addRecvd(int64(len(payload)) + int64(len(tag)) + 8)
+	}
+	return i, payload, ok
+}
+
+// worldCandidates validates a candidate rank list and maps it to world
+// ranks, reusing the worker's scratch slice on the view path so the
+// steady-state exchange stays allocation-free.
+func (w *Worker) worldCandidates(from []int) ([]int, error) {
+	if len(from) == 0 {
+		return nil, fmt.Errorf("cluster: recv-any with no candidate ranks")
+	}
+	for _, f := range from {
+		if f < 0 || f >= w.size {
+			return nil, fmt.Errorf("cluster: recv-any from invalid rank %d of %d", f, w.size)
+		}
+	}
+	if w.world == nil {
+		return from, nil
+	}
+	w.worldScratch = w.worldScratch[:0]
+	for _, f := range from {
+		w.worldScratch = append(w.worldScratch, w.world[f])
+	}
+	return w.worldScratch, nil
 }
 
 // GetBuf returns a pooled payload buffer of length n. The buffer
@@ -324,6 +394,7 @@ type Local struct {
 	logger      *slog.Logger
 	pool        *bufPool
 	ringThresh  int
+	elastic     bool
 }
 
 // faultCounters are the pre-resolved injection counters both transports
@@ -398,6 +469,17 @@ func (c *Local) SetLogger(l *slog.Logger) { c.logger = l }
 // break in-process; like a recovered TCP cut, the message is delivered.
 func (c *Local) SetFaultPlan(p *FaultPlan) { c.fault = p }
 
+// SetElastic switches Run to elastic failure semantics, matching what a
+// TCP deployment's heartbeats provide: a worker function returning —
+// with or without an error — marks its rank down in every other
+// mailbox (drain-then-fail), instead of an error poisoning the whole
+// cluster. Survivors observe the exit as a rank-attributed ErrPeerDown
+// on their next receive from it and can run the membership protocol;
+// a returned error is still recorded and returned by Run. Chaos tests
+// simulate a crash by returning nil mid-algorithm. Must be set before
+// Run.
+func (c *Local) SetElastic(on bool) { c.elastic = on }
+
 // Size returns the number of workers the cluster runs.
 func (c *Local) Size() int { return c.size }
 
@@ -431,6 +513,17 @@ func (c *Local) Run(fn func(*Worker) error) (*RunStats, error) {
 			poolShared:  true,
 			ringThresh:  c.ringThresh,
 			sendFn: func(to int, msg Message) error {
+				if msg.Tag == revokeTag {
+					// Epoch revocation is control-plane: it bypasses
+					// fault injection and acts on the mailbox directly,
+					// mirroring the TCP readLoop's interception.
+					dead, err := decodeRevoke(msg.Payload)
+					if err != nil {
+						return err
+					}
+					mboxes[to].peerDown(dead, &ErrPeerDown{Rank: dead}, true)
+					return nil
+				}
 				if c.sendHook != nil {
 					if err := c.sendHook(msg.From, to, msg.Tag); err != nil {
 						return err
@@ -463,7 +556,27 @@ func (c *Local) Run(fn func(*Worker) error) (*RunStats, error) {
 		wg.Add(1)
 		go func(w *Worker) {
 			defer wg.Done()
-			if err := fn(w); err != nil {
+			err := fn(w)
+			if c.elastic {
+				// Elastic semantics: any exit — crash simulation, drain,
+				// or normal completion — reads as this rank going dark.
+				// Drain-then-fail delivery means finished peers' queued
+				// messages still land, so normal completion is unharmed.
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("rank %d: %w", w.rank, err)
+					}
+					mu.Unlock()
+				}
+				for r, mb := range mboxes {
+					if r != w.rank {
+						mb.peerDown(w.rank, &ErrPeerDown{Rank: w.rank}, false)
+					}
+				}
+				return
+			}
+			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = fmt.Errorf("rank %d: %w", w.rank, err)
@@ -480,7 +593,7 @@ func (c *Local) Run(fn func(*Worker) error) (*RunStats, error) {
 	stats := &RunStats{Wall: time.Since(start)}
 	for i, w := range workers {
 		snap := w.obs.Snapshot()
-		stats.Ranks = append(stats.Ranks, RankStats{Metrics: metrics[i].snapshot(), Work: w.work, Obs: &snap})
+		stats.Ranks = append(stats.Ranks, RankStats{Metrics: metrics[i].snapshot(), Work: *w.work, Obs: &snap})
 	}
 	return stats, firstErr
 }

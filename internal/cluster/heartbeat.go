@@ -50,11 +50,30 @@ type heartbeat struct {
 	down     []bool
 }
 
-// observe refreshes a peer's liveness on any inbound message.
-func (hb *heartbeat) observe(rank int) {
+// observe refreshes a peer's liveness on any inbound message. It
+// reports whether the peer had been declared down — inbound traffic
+// from a "dead" rank means it restarted, so the declaration is lifted
+// and the caller clears the transport-level down marks.
+func (hb *heartbeat) observe(rank int) (revived bool) {
 	hb.mu.Lock()
 	if rank >= 0 && rank < len(hb.lastSeen) {
 		hb.lastSeen[rank] = time.Now()
+		if hb.down[rank] {
+			hb.down[rank] = false
+			revived = true
+		}
+	}
+	hb.mu.Unlock()
+	return revived
+}
+
+// markDown force-declares a rank dead (an epoch revocation relayed by
+// a peer), so sends to it fail fast without waiting out the local
+// detection window.
+func (hb *heartbeat) markDown(rank int) {
+	hb.mu.Lock()
+	if rank >= 0 && rank < len(hb.down) {
+		hb.down[rank] = true
 	}
 	hb.mu.Unlock()
 }
@@ -128,7 +147,11 @@ func (n *TCPNode) heartbeatLoop(hb *heartbeat) {
 		for _, r := range hb.expire(n.rank) {
 			n.tc.hbMisses.Inc()
 			n.obs.Logger().Warn("peer declared down", "peer", r, "window", hb.window)
-			n.mbox.fail(&ErrPeerDown{Rank: r})
+			// Poison (the pre-elastic contract: blocked receives fail
+			// fast) and mark the sender down so that, after an elastic
+			// recovery clears the poison, receives from the dead rank
+			// keep failing with the rank-attributed error.
+			n.mbox.peerDown(r, &ErrPeerDown{Rank: r}, true)
 		}
 		probe := Message{From: n.rank, Tag: heartbeatTag}
 		for r := 0; r < n.size; r++ {

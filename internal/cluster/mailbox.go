@@ -65,6 +65,20 @@ type mailbox struct {
 	spare  []*msgQueue
 	timer  *time.Timer // persistent wake-up timer for bounded receives
 	err    error
+
+	// down marks individual senders as dead with drain-then-fail
+	// semantics: messages a sender queued before dying are still
+	// delivered, and only once its queue is empty does a receive from it
+	// fail with the recorded error. This is what lets an elastic view
+	// change consume the tail of a dead rank's traffic instead of
+	// discarding it.
+	down map[int]error
+
+	// revoked remembers which dead ranks have already poisoned this
+	// mailbox once, making epoch revocation idempotent: after a survivor
+	// clears the poison to run the membership protocol, a straggler's
+	// duplicate revoke for the same dead rank must not poison it again.
+	revoked map[int]bool
 }
 
 func newMailbox() *mailbox {
@@ -101,6 +115,70 @@ func (m *mailbox) fail(err error) {
 	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
+}
+
+// peerDown marks one sender dead. Receives from it drain its remaining
+// queued messages, then fail with err. With poison set the whole
+// mailbox is additionally poisoned — but at most once per dead rank
+// (see revoked), so duplicate revocations arriving after clearPoison
+// cannot re-poison a recovering worker mid-protocol.
+func (m *mailbox) peerDown(rank int, err error, poison bool) {
+	m.mu.Lock()
+	if m.down == nil {
+		m.down = make(map[int]error)
+	}
+	if _, dup := m.down[rank]; !dup {
+		m.down[rank] = err
+	}
+	if poison {
+		if m.revoked == nil {
+			m.revoked = make(map[int]bool)
+		}
+		if !m.revoked[rank] {
+			m.revoked[rank] = true
+			if m.err == nil {
+				m.err = err
+			}
+		}
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// revive clears a sender's down mark (and its revocation memory) after
+// the rank demonstrably came back — a restarted TCP peer whose traffic
+// is flowing again, or a world slot re-admitted to a view.
+func (m *mailbox) revive(rank int) {
+	m.mu.Lock()
+	delete(m.down, rank)
+	delete(m.revoked, rank)
+	m.mu.Unlock()
+}
+
+// clearPoison removes a whole-mailbox poison so the elastic recovery
+// protocol can reuse the transport. Per-sender down marks persist:
+// receives from dead ranks keep failing fast after the clear.
+func (m *mailbox) clearPoison() {
+	m.mu.Lock()
+	m.err = nil
+	m.mu.Unlock()
+}
+
+// downErr reports the drain-then-fail error for a sender: non-nil only
+// when the sender is marked down AND its (from, tag) queue is empty.
+// Caller holds mu.
+func (m *mailbox) downErr(from int, tag string) error {
+	if m.down == nil {
+		return nil
+	}
+	err := m.down[from]
+	if err == nil {
+		return nil
+	}
+	if q := m.queues[mailKey{from, tag}]; q != nil && !q.empty() {
+		return nil
+	}
+	return err
 }
 
 // take pops the queue's head and recycles the queue once drained.
@@ -149,6 +227,9 @@ func (m *mailbox) recv(from int, tag string, timeout time.Duration) ([]byte, err
 		if m.err != nil {
 			return nil, m.err
 		}
+		if err := m.downErr(from, tag); err != nil {
+			return nil, err
+		}
 		if timeout > 0 && time.Now().After(deadline) {
 			return nil, fmt.Errorf("%w: from %d tag %q", ErrTimeout, from, tag)
 		}
@@ -162,7 +243,15 @@ func (m *mailbox) recv(from int, tag string, timeout time.Duration) ([]byte, err
 // wins; only the head of each sender's FIFO is eligible, so a sender
 // running ahead into the next operation on the same stream cannot be
 // consumed twice in one round.
-func (m *mailbox) recvAny(tag string, from []int, timeout time.Duration) (int, []byte, error) {
+//
+// failDown selects how per-sender down marks surface. When true (the
+// collective/exchange contract, which needs *all* listed senders) any
+// drained-and-down candidate fails the receive immediately with its
+// rank-attributed error rather than letting the caller hang until
+// timeout. When false (a control receive wanting *any live* sender,
+// e.g. a joiner awaiting adoption) down candidates are skipped and the
+// receive fails only once every candidate is down.
+func (m *mailbox) recvAny(tag string, from []int, timeout time.Duration, failDown bool) (int, []byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var deadline time.Time
@@ -181,9 +270,38 @@ func (m *mailbox) recvAny(tag string, from []int, timeout time.Duration) (int, [
 		if m.err != nil {
 			return -1, nil, m.err
 		}
+		downCount := 0
+		var firstDown error
+		for _, f := range from {
+			if err := m.downErr(f, tag); err != nil {
+				downCount++
+				if firstDown == nil {
+					firstDown = err
+				}
+			}
+		}
+		if firstDown != nil && (failDown || downCount == len(from)) {
+			return -1, nil, firstDown
+		}
 		if timeout > 0 && time.Now().After(deadline) {
 			return -1, nil, fmt.Errorf("%w: any of %v tag %q", ErrTimeout, from, tag)
 		}
 		m.cond.Wait()
 	}
+}
+
+// poll is the non-blocking form of recvAny with failDown=false: it
+// returns the first queued message for the tag among the listed
+// senders, or ok=false if none is queued right now. Control-plane only
+// (membership fences); never errors and never blocks.
+func (m *mailbox) poll(tag string, from []int) (int, []byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, f := range from {
+		k := mailKey{f, tag}
+		if q := m.queues[k]; q != nil && !q.empty() {
+			return i, m.take(k, q), true
+		}
+	}
+	return -1, nil, false
 }

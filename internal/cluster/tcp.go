@@ -465,10 +465,27 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 			continue // malformed peer; never index by it
 		}
 		if hb := n.hb.Load(); hb != nil {
-			hb.observe(msg.From)
+			if hb.observe(msg.From) {
+				// Traffic from a rank previously declared down: a
+				// restarted peer. Lift its down marks so elastic
+				// re-admission can talk to it again.
+				n.obs.Logger().Info("peer revived by inbound traffic", "peer", msg.From)
+				n.mbox.revive(msg.From)
+			}
 		}
 		if msg.Tag == heartbeatTag {
 			continue // liveness probe, not payload
+		}
+		if msg.Tag == revokeTag {
+			// Epoch revocation (view.go): poison once, mark the dead
+			// rank down, and keep the probe out of the payload path.
+			if dead, err := decodeRevoke(msg.Payload); err == nil {
+				if hb := n.hb.Load(); hb != nil {
+					hb.markDown(dead)
+				}
+				n.mbox.peerDown(dead, &ErrPeerDown{Rank: dead}, true)
+			}
+			continue
 		}
 		// Receive metrics are counted once, in Worker.Recv, exactly as
 		// the in-process transport counts them.
@@ -662,7 +679,7 @@ func (n *TCPNode) Run(fn func(*Worker) error) (*RunStats, error) {
 	snap := n.obs.SnapshotSince(obsBase)
 	stats := &RunStats{
 		Wall:  time.Since(start),
-		Ranks: []RankStats{{Metrics: n.metrics.snapshot().sub(base), Work: w.work, Obs: &snap}},
+		Ranks: []RankStats{{Metrics: n.metrics.snapshot().sub(base), Work: *w.work, Obs: &snap}},
 	}
 	return stats, err
 }

@@ -372,6 +372,18 @@ type phaseNames struct {
 }
 
 func newWorkerState(j *StepJob, w *cluster.Worker) *workerState {
+	warm := make([]*mat.Dense, len(j.init))
+	for m := range warm {
+		warm[m] = j.init[m].Clone()
+	}
+	return newWorkerStateFactors(j, w, warm)
+}
+
+// newWorkerStateFactors builds a worker state around externally owned
+// factor replicas instead of cloning the job's initial stack — how the
+// elastic driver rebinds a rank's warm factors to a rebuilt plan after
+// a view change. The matrices are adopted, not copied.
+func newWorkerStateFactors(j *StepJob, w *cluster.Worker, warm []*mat.Dense) *workerState {
 	n := len(j.init)
 	r := j.opts.Rank
 	st := &workerState{
@@ -401,7 +413,7 @@ func newWorkerState(j *StepJob, w *cluster.Worker) *workerState {
 	st.ownedOld = make([][]int32, n)
 	st.ownedNew = make([][]int32, n)
 	for m := 0; m < n; m++ {
-		st.full[m] = j.init[m].Clone()
+		st.full[m] = warm[m]
 		st.mbuf[m] = mat.New(st.full[m].Rows, r)
 		st.grams[m] = &gramState{g0: mat.New(r, r), g1: mat.New(r, r), cross: mat.New(r, r)}
 		st.fullG[m] = mat.New(r, r)
@@ -450,55 +462,15 @@ func (st *workerState) close() { st.pool.Close() }
 func (j *StepJob) RunWorker(w *cluster.Worker) error {
 	st := newWorkerState(j, w)
 	defer st.close()
-	n := len(j.init)
 	me := w.Rank()
 
-	// Replicated Gram state, established by an initial all-reduce of
-	// per-owner partials.
-	for m := 0; m < n; m++ {
-		sp := st.obs.Span(st.names[m].allreduce)
-		err := st.reduceGrams(m)
-		sp.End()
-		if err != nil {
-			return err
-		}
+	if err := st.establishGrams(); err != nil {
+		return err
 	}
 
 	prevLoss := math.Inf(1)
 	for sweep := 0; sweep < j.opts.MaxIters; sweep++ {
-		st.obs.SetIter(sweep)
-		for m := 0; m < n; m++ {
-			// 1. Distributed MTTKRP over this worker's mode-m entries.
-			sp := st.obs.Span(st.names[m].mttkrp)
-			st.mttkrpMode(m)
-			sp.End()
-
-			// 2. Row-wise update of owned rows.
-			sp = st.obs.Span(st.names[m].solve)
-			st.denominators(m)
-			st.updateOwnedRows(m)
-			sp.End()
-
-			// 3. All-to-all reduction of the partial Gram products.
-			sp = st.obs.Span(st.names[m].allreduce)
-			err := st.reduceGrams(m)
-			sp.End()
-			if err != nil {
-				return err
-			}
-
-			// 4. Push updated rows to subscribers.
-			sp = st.obs.Span(st.names[m].exchange)
-			err = st.exch.Exchange(m, st.full[m], j.opts.BroadcastRows)
-			sp.End()
-			if err != nil {
-				return err
-			}
-		}
-
-		sp := st.obs.Span("loss")
-		loss, err := st.loss()
-		sp.End()
+		loss, err := st.sweepOnce(sweep)
 		if err != nil {
 			return err
 		}
@@ -529,6 +501,61 @@ func (j *StepJob) RunWorker(w *cluster.Worker) error {
 		j.mu.Unlock()
 	}
 	return nil
+}
+
+// establishGrams builds the replicated Gram state with an initial
+// all-reduce of per-owner partials — once at step start, and again by
+// the elastic driver whenever row ownership changes mid-step.
+func (st *workerState) establishGrams() error {
+	for m := range st.full {
+		sp := st.obs.Span(st.names[m].allreduce)
+		err := st.reduceGrams(m)
+		sp.End()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepOnce runs one full ALS sweep — the four per-mode phases followed
+// by the loss evaluation — and returns the sweep's loss.
+func (st *workerState) sweepOnce(sweep int) (float64, error) {
+	j := st.job
+	st.obs.SetIter(sweep)
+	for m := range st.full {
+		// 1. Distributed MTTKRP over this worker's mode-m entries.
+		sp := st.obs.Span(st.names[m].mttkrp)
+		st.mttkrpMode(m)
+		sp.End()
+
+		// 2. Row-wise update of owned rows.
+		sp = st.obs.Span(st.names[m].solve)
+		st.denominators(m)
+		st.updateOwnedRows(m)
+		sp.End()
+
+		// 3. All-to-all reduction of the partial Gram products.
+		sp = st.obs.Span(st.names[m].allreduce)
+		err := st.reduceGrams(m)
+		sp.End()
+		if err != nil {
+			return 0, err
+		}
+
+		// 4. Push updated rows to subscribers.
+		sp = st.obs.Span(st.names[m].exchange)
+		err = st.exch.Exchange(m, st.full[m], j.opts.BroadcastRows)
+		sp.End()
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	sp := st.obs.Span("loss")
+	loss, err := st.loss()
+	sp.End()
+	return loss, err
 }
 
 // mttkrpMode zeroes the mode's MTTKRP buffer and accumulates this

@@ -1,0 +1,593 @@
+// Elastic multi-step driver: DisMASTD streaming across view changes.
+//
+// The static Step/StepJob path assumes a fixed worker set for the whole
+// run. ElasticJob drives a sequence of snapshot steps over an elastic
+// cluster whose membership may change while the stream is running:
+//
+//   - A rank crashing mid-step surfaces as a rank-attributed
+//     ErrPeerDown on every survivor (drain-then-fail mailboxes plus
+//     epoch revocation break transitive collective blocks). Survivors
+//     agree on the shrunken view, rebalance the partitioning with
+//     minimal slice movement (partition.Rebalance), absorb the dead
+//     rank's factor rows from their local replicas — the degraded-mode
+//     policy: the freshest surviving copy, at worst one aborted sweep
+//     stale — migrate the few rows whose surviving owner changed,
+//     refresh the row subscriptions, re-establish the Gram state, and
+//     restart the step's ALS sweeps warm. No wire bytes are spent on
+//     rows that did not change owner.
+//
+//   - Joins and drains are admitted at step fences, where every member
+//     holds the full synced state: a joiner warm-starts from a single
+//     targeted state transfer (no repartition shuffle — the next step
+//     plans for the grown view from scratch, since snapshot dimensions
+//     grow anyway), and a drainer leaves after view agreement with
+//     nothing to hand off.
+//
+// Membership never changes the maths: every epoch's sweep is the same
+// SPMD computation as the static path (sweepOnce/establishGrams are
+// shared), only bound to a different plan. A run with no membership
+// events reproduces the static per-step results bitwise.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"dismastd/internal/cluster"
+	"dismastd/internal/dplan"
+	"dismastd/internal/dtd"
+	"dismastd/internal/mat"
+	"dismastd/internal/tensor"
+)
+
+// ErrScriptedCrash is the error a scripted victim rank dies with in
+// chaos runs; survivors observe it only as ErrPeerDown.
+var ErrScriptedCrash = errors.New("core: scripted crash")
+
+// ElasticOptions configures a multi-step elastic run. The embedded
+// Options provide the per-step algorithm parameters; Workers and Parts
+// are ignored (each epoch plans for its view size, one partition per
+// member, which is what keeps live re-partitioning minimal).
+type ElasticOptions struct {
+	Options
+
+	World   int // total ranks in the world cluster, members + spares
+	Members int // initial members, world ranks 0..Members-1
+
+	// Chaos script, known to every rank (deterministic admission; the
+	// join/drain request RPCs are still exercised and polled at fences).
+	// KillAtStep[s] crashes that world rank at the start of sweep
+	// KillSweep of step s. JoinAtStep[s] admits that spare world rank at
+	// step s's fence; DrainAtStep[s] retires that member there.
+	KillAtStep  map[int]int
+	KillSweep   int // default 1
+	JoinAtStep  map[int]int
+	DrainAtStep map[int]int
+
+	// Checkpoint, when set, is called by view rank 0 at every step fence
+	// with the fully synced pre-step state.
+	Checkpoint func(step int, st *dtd.State) error
+}
+
+// TransitionStats records one membership transition (a fence-admitted
+// join/drain or a mid-step failure recovery).
+type TransitionStats struct {
+	Step  int
+	Epoch int64
+	Dead  []int // world ranks lost mid-step
+	Join  []int // world ranks admitted
+	Leave []int // world ranks drained
+
+	MovedRows    int   // factor rows shipped between surviving owners
+	AbsorbedRows int   // dead ranks' rows adopted from local replicas
+	BytesSent    int64 // wire bytes of the transition, summed over ranks
+}
+
+// ElasticJob drives len(snapshots) streaming steps over an elastic
+// world cluster. Build one with NewElasticJob, run RunWorker once per
+// world rank on a cluster with elastic semantics, then read Result.
+type ElasticJob struct {
+	opts      ElasticOptions
+	prev      *dtd.State
+	snapshots []*tensor.Tensor
+
+	mu          sync.Mutex
+	final       *dtd.State
+	finalLoss   float64
+	byEpoch     map[int64]*TransitionStats
+	transitions []*TransitionStats
+}
+
+// NewElasticJob validates the script and prepares the run. prev and the
+// snapshots are shared read-only across ranks.
+func NewElasticJob(prev *dtd.State, snapshots []*tensor.Tensor, o ElasticOptions) (*ElasticJob, error) {
+	if len(snapshots) == 0 {
+		return nil, errors.New("core: elastic run needs at least one snapshot")
+	}
+	if o.Members <= 0 || o.World < o.Members {
+		return nil, fmt.Errorf("core: world %d with %d initial members", o.World, o.Members)
+	}
+	if o.KillSweep <= 0 {
+		o.KillSweep = 1
+	}
+	probe := o.Options
+	probe.Workers = o.Members
+	if _, err := probe.withDefaults(); err != nil {
+		return nil, err
+	}
+	joiners := map[int]bool{}
+	for s, r := range o.JoinAtStep {
+		if s < 0 || s >= len(snapshots) {
+			return nil, fmt.Errorf("core: join scripted at step %d of %d", s, len(snapshots))
+		}
+		if r < o.Members || r >= o.World {
+			return nil, fmt.Errorf("core: scripted joiner %d is not a spare of world %d", r, o.World)
+		}
+		if joiners[r] {
+			return nil, fmt.Errorf("core: spare %d scripted to join twice", r)
+		}
+		joiners[r] = true
+	}
+	for s, r := range o.KillAtStep {
+		if s < 0 || s >= len(snapshots) || r < 0 || r >= o.World {
+			return nil, fmt.Errorf("core: kill of rank %d scripted at step %d", r, s)
+		}
+	}
+	for s, r := range o.DrainAtStep {
+		if s < 0 || s >= len(snapshots) || r < 0 || r >= o.World {
+			return nil, fmt.Errorf("core: drain of rank %d scripted at step %d", r, s)
+		}
+	}
+	return &ElasticJob{
+		opts:      o,
+		prev:      prev,
+		snapshots: snapshots,
+		byEpoch:   map[int64]*TransitionStats{},
+	}, nil
+}
+
+// Result returns the final state (assembled on the final view's rank
+// 0), the last step's loss, and the membership transitions in epoch
+// order. Valid after every world rank's RunWorker has returned.
+func (j *ElasticJob) Result() (*dtd.State, float64, []TransitionStats, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.final == nil {
+		return nil, 0, nil, ErrNoResult
+	}
+	sort.Slice(j.transitions, func(a, b int) bool { return j.transitions[a].Epoch < j.transitions[b].Epoch })
+	out := make([]TransitionStats, len(j.transitions))
+	for i, t := range j.transitions {
+		out[i] = *t
+	}
+	return j.final, j.finalLoss, out, nil
+}
+
+// stepOpts derives the per-step Options for a view of the given size:
+// one partition per member, so re-partitioning stays a per-member diff.
+func (j *ElasticJob) stepOpts(size int) Options {
+	opts := j.opts.Options
+	opts.Workers = size
+	opts.Parts = size
+	return opts
+}
+
+// joinStep reports the step at which the given spare is scripted to
+// join, or -1.
+func (j *ElasticJob) joinStep(world int) int {
+	for s, r := range j.opts.JoinAtStep {
+		if r == world {
+			return s
+		}
+	}
+	return -1
+}
+
+// dimsBefore returns the state dimensions entering step s.
+func (j *ElasticJob) dimsBefore(s int) []int {
+	if s == 0 {
+		return j.prev.Dims
+	}
+	return j.snapshots[s-1].Dims
+}
+
+// record merges one rank's contribution to a transition, keyed by the
+// epoch it produced (ranks reach the same transition at different
+// times, and only view rank 0 fills the metadata).
+func (j *ElasticJob) record(epoch int64, bytes int64, fill func(*TransitionStats)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t := j.byEpoch[epoch]
+	if t == nil {
+		t = &TransitionStats{Epoch: epoch}
+		j.byEpoch[epoch] = t
+		j.transitions = append(j.transitions, t)
+	}
+	t.BytesSent += bytes
+	if fill != nil {
+		fill(t)
+	}
+}
+
+// RunWorker is the per-world-rank body. Initial members stream from
+// step 0; scripted spares wait for adoption and join mid-stream;
+// unscripted spares are never admitted and exit immediately.
+func (j *ElasticJob) RunWorker(w *cluster.Worker) error {
+	me := w.Rank()
+	v := cluster.InitialView(j.opts.Members)
+	if !v.Contains(me) {
+		s := j.joinStep(me)
+		if s < 0 {
+			return nil
+		}
+		cluster.RequestJoin(w)
+		av, cookie, err := cluster.AwaitAdopt(w)
+		if err != nil {
+			return fmt.Errorf("core: spare %d awaiting adoption: %w", me, err)
+		}
+		if int(cookie) != s {
+			return fmt.Errorf("core: spare %d adopted for step %d, scripted %d", me, cookie, s)
+		}
+		vw, err := w.ViewWorker(av)
+		if err != nil {
+			return err
+		}
+		vw.Obs().Counter("elastic.epochs").Add(1)
+		prev, err := j.recvBoot(vw, s)
+		if err != nil {
+			return err
+		}
+		return j.stream(w, av, vw, prev, s, true)
+	}
+	vw, err := w.ViewWorker(v)
+	if err != nil {
+		return err
+	}
+	return j.stream(w, v, vw, j.prev, 0, false)
+}
+
+// stream runs steps start..end on the member's current view. adopted
+// marks a joiner entering after its admission fence already ran.
+func (j *ElasticJob) stream(w *cluster.Worker, v cluster.View, vw *cluster.Worker, prev *dtd.State, start int, adopted bool) error {
+	for s := start; s < len(j.snapshots); s++ {
+		if !adopted || s > start {
+			var cont bool
+			var err error
+			v, vw, cont, err = j.fence(w, v, vw, s, prev)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil // drained
+			}
+		}
+		if vw.Rank() == 0 && j.opts.Checkpoint != nil {
+			if err := j.opts.Checkpoint(s, prev); err != nil {
+				return err
+			}
+		}
+		var err error
+		prev, v, vw, err = j.runStep(w, v, vw, prev, s)
+		if err != nil {
+			return err
+		}
+	}
+	if vw.Rank() == 0 {
+		j.mu.Lock()
+		j.final = prev
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// fence is the between-steps membership barrier: scripted joins and
+// drains for step s are agreed on, joiners adopted and booted with the
+// synced state, drainers released. The returned bool is false when this
+// rank drained. With an empty change the fence costs nothing.
+func (j *ElasticJob) fence(w *cluster.Worker, v cluster.View, vw *cluster.Worker, s int, prev *dtd.State) (cluster.View, *cluster.Worker, bool, error) {
+	// Drain pending membership RPCs; admission itself follows the shared
+	// script so every member fences identically without consensus on the
+	// request arrival order.
+	cluster.PollMembershipRequests(w)
+	vc := cluster.ViewChange{}
+	if r, ok := j.opts.JoinAtStep[s]; ok {
+		vc.Join = []int{r}
+	}
+	if r, ok := j.opts.DrainAtStep[s]; ok {
+		vc.Leave = []int{r}
+		if r == w.Rank() {
+			cluster.RequestDrain(w)
+		}
+	}
+	if vc.Empty() {
+		return v, vw, true, nil
+	}
+	next, err := cluster.AgreeView(w, v, vc)
+	if err != nil {
+		return v, vw, false, fmt.Errorf("core: fence at step %d: %w", s, err)
+	}
+	if w.Rank() == cluster.Coordinator(v, next) {
+		for _, r := range vc.Join {
+			if err := cluster.SendAdopt(w, r, next, int64(s)); err != nil {
+				return v, vw, false, err
+			}
+		}
+	}
+	for _, r := range vc.Leave {
+		if r == w.Rank() {
+			return v, vw, false, nil
+		}
+	}
+	vw2, err := w.ViewWorker(next)
+	if err != nil {
+		return v, vw, false, err
+	}
+	vw2.Obs().Counter("elastic.epochs").Add(1)
+	var bootBytes int64
+	if vw2.Rank() == 0 && len(vc.Join) > 0 {
+		base := vw2.MetricsSnapshot()
+		for _, r := range vc.Join {
+			if err := j.sendBoot(vw2, next.RankOf(r), prev); err != nil {
+				return v, vw, false, err
+			}
+		}
+		bootBytes = vw2.MetricsSnapshot().BytesSent - base.BytesSent
+	}
+	if vw2.Rank() == 0 {
+		j.record(next.Epoch, bootBytes, func(t *TransitionStats) {
+			t.Step = s
+			t.Join = append([]int(nil), vc.Join...)
+			t.Leave = append([]int(nil), vc.Leave...)
+		})
+	}
+	return next, vw2, true, nil
+}
+
+// sendBoot ships the synced pre-step state to a freshly adopted joiner
+// — the only rank missing it — as one message per mode.
+func (j *ElasticJob) sendBoot(vw *cluster.Worker, to int, prev *dtd.State) error {
+	for m, f := range prev.Factors {
+		if err := vw.Send(to, vw.StreamTagIndexed("boot", m), cluster.EncodeFloat64s(f.Data)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvBoot receives the joiner's warm-start state from view rank 0.
+func (j *ElasticJob) recvBoot(vw *cluster.Worker, s int) (*dtd.State, error) {
+	dims := j.dimsBefore(s)
+	factors := make([]*mat.Dense, len(dims))
+	for m, d := range dims {
+		payload, err := vw.Recv(0, vw.StreamTagIndexed("boot", m))
+		if err != nil {
+			return nil, err
+		}
+		vals, err := cluster.DecodeFloat64s(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != d*j.opts.Rank {
+			return nil, fmt.Errorf("core: boot mode %d: %d values for %dx%d", m, len(vals), d, j.opts.Rank)
+		}
+		factors[m] = mat.New(d, j.opts.Rank)
+		copy(factors[m].Data, vals)
+	}
+	return &dtd.State{Dims: append([]int(nil), dims...), Factors: factors}, nil
+}
+
+// runStep advances one snapshot step, recovering from mid-step rank
+// deaths: on ErrPeerDown the survivors re-partition, migrate, and
+// restart the sweeps warm on the shrunken view. Returns the synced
+// post-step state and the (possibly changed) view.
+func (j *ElasticJob) runStep(w *cluster.Worker, v cluster.View, vw *cluster.Worker, prev *dtd.State, s int) (*dtd.State, cluster.View, *cluster.Worker, error) {
+	job, err := NewStepJob(prev, j.snapshots[s], j.stepOpts(v.Size()))
+	if err != nil {
+		return nil, v, vw, err
+	}
+	warm := make([]*mat.Dense, len(job.init))
+	for m := range warm {
+		warm[m] = job.init[m].Clone()
+	}
+	st := newWorkerStateFactors(job, vw, warm)
+	defer func() { st.close() }()
+
+	var lastLoss float64
+	for {
+		err := st.establishGrams()
+		if err == nil {
+			prevLoss := math.Inf(1)
+			for sweep := 0; sweep < job.opts.MaxIters; sweep++ {
+				if r, ok := j.opts.KillAtStep[s]; ok && r == w.Rank() && sweep == j.opts.KillSweep {
+					return nil, v, vw, fmt.Errorf("%w: rank %d at step %d sweep %d", ErrScriptedCrash, r, s, sweep)
+				}
+				var loss float64
+				loss, err = st.sweepOnce(sweep)
+				if err != nil {
+					break
+				}
+				lastLoss = loss
+				stop := relChange(prevLoss, loss) < job.opts.Tol
+				prevLoss = loss
+				if stop {
+					break
+				}
+			}
+		}
+		if err == nil {
+			var synced *dtd.State
+			synced, err = j.syncState(vw, job, st.full)
+			if err == nil {
+				if vw.Rank() == 0 && s == len(j.snapshots)-1 {
+					j.mu.Lock()
+					j.finalLoss = lastLoss
+					j.mu.Unlock()
+				}
+				return synced, v, vw, nil
+			}
+		}
+		v, vw, job, st, err = j.recover(w, v, vw, job, st, err, s)
+		if err != nil {
+			return nil, v, vw, err
+		}
+	}
+}
+
+// recover handles one mid-step rank death: revoke the dead rank's
+// epoch (unblocking survivors stuck on live-but-blocked peers), agree
+// the shrunken view, rebalance the plan with minimal movement, migrate
+// the moved factor rows, absorb the dead rank's rows from local
+// replicas, refresh the row subscriptions, and rebind the worker state
+// to the new epoch with warm factors.
+func (j *ElasticJob) recover(w *cluster.Worker, v cluster.View, vw *cluster.Worker, job *StepJob, st *workerState, cause error, s int) (cluster.View, *cluster.Worker, *StepJob, *workerState, error) {
+	pd, ok := cluster.AsPeerDown(cause)
+	if !ok {
+		return v, vw, job, st, cause
+	}
+	dead := pd.Rank
+	sp := vw.Obs().Span("elastic/recover")
+	defer sp.End()
+	vw.Revoke(dead)
+	vw.ClearFault()
+	vc := cluster.ViewChange{Dead: []int{dead}}
+	if !v.Contains(dead) {
+		// A non-member went dark: a drained rank or a finished spare,
+		// whose process exit a TCP failure detector reports exactly like
+		// a crash. Membership is unchanged, but the poison aborted this
+		// rank's sweep at an arbitrary point (and the revocation above
+		// aborts everyone else), so the members still run a transition:
+		// the empty change bumps the epoch, fencing off the aborted
+		// sweep's in-flight messages before the warm restart.
+		vc = cluster.ViewChange{}
+	}
+	next, err := cluster.AgreeView(w, v, vc)
+	if err != nil {
+		return v, vw, job, st, fmt.Errorf("core: recovering from down rank %d: %w", dead, err)
+	}
+	newPlan, err := dplan.RebuildRebalanced(job.plan, v, next)
+	if err != nil {
+		return v, vw, job, st, err
+	}
+	vw2, err := w.ViewWorker(next)
+	if err != nil {
+		return v, vw, job, st, err
+	}
+	d := dplan.ComputeDelta(job.plan, v, newPlan, next)
+	full := st.full
+	st.close()
+
+	base := vw2.MetricsSnapshot()
+	if err := dplan.Migrate(vw2, d, full); err != nil {
+		return v, vw, job, st, err
+	}
+	// Refresh every subscription under the new plan: the aborted sweep
+	// left replicas unevenly fresh across ranks, and the old epoch's
+	// in-flight rows are fenced off, so each subscriber re-pulls from
+	// the (warm) owners before the Gram state is re-established.
+	for m := range full {
+		if err := dplan.ExchangeRows(vw2, newPlan, m, full[m], false); err != nil {
+			return v, vw, job, st, err
+		}
+	}
+	sent := vw2.MetricsSnapshot().BytesSent - base.BytesSent
+
+	absorbed := 0
+	for m := range d.Absorbed {
+		absorbed += len(d.Absorbed[m][vw2.Rank()])
+	}
+	o := vw2.Obs()
+	o.Counter("elastic.epochs").Add(1)
+	o.Counter("elastic.recoveries").Add(1)
+	o.Counter("elastic.absorbed.rows").Add(int64(absorbed))
+	fill := func(t *TransitionStats) {
+		t.Step = s
+		t.Dead = append([]int(nil), vc.Dead...)
+		t.MovedRows = d.MovedRows()
+		t.AbsorbedRows = d.AbsorbedRows()
+	}
+	if vw2.Rank() != 0 {
+		fill = nil
+	}
+	j.record(next.Epoch, sent, fill)
+
+	job2 := job.withPlan(newPlan, next.Size())
+	st2 := newWorkerStateFactors(job2, vw2, full)
+	return next, vw2, job2, st2, nil
+}
+
+// withPlan rebinds a step job to a rebalanced plan for a different
+// member count; the tensors, previous factors, and loss constants are
+// shared unchanged.
+func (j *StepJob) withPlan(plan *dplan.Plan, workers int) *StepJob {
+	opts := j.opts
+	opts.Workers = workers
+	opts.Parts = workers
+	return &StepJob{
+		opts:       opts,
+		newDims:    j.newDims,
+		plan:       plan,
+		oldDims:    j.oldDims,
+		tilde:      j.tilde,
+		init:       j.init,
+		cTilde:     j.cTilde,
+		compNormSq: j.compNormSq,
+		algo:       make([]cluster.Metrics, workers),
+	}
+}
+
+// syncState assembles the step's result on view rank 0 (each owner
+// contributes its owned rows) and broadcasts it, so every member —
+// not just rank 0 — enters the next fence holding the full state. That
+// replication is what makes fences cheap: drains hand off nothing and
+// failures absorb from local replicas.
+func (j *ElasticJob) syncState(vw *cluster.Worker, job *StepJob, full []*mat.Dense) (*dtd.State, error) {
+	r := job.opts.Rank
+	factors := make([]*mat.Dense, len(full))
+	for m := range full {
+		owned := job.plan.OwnedSlices[m][vw.Rank()]
+		buf := make([]float64, 0, len(owned)*r)
+		for _, sl := range owned {
+			buf = append(buf, full[m].Row(int(sl))...)
+		}
+		parts, err := vw.GatherBytes(0, cluster.EncodeFloat64s(buf))
+		if err != nil {
+			return nil, err
+		}
+		var enc []byte
+		if vw.Rank() == 0 {
+			out := mat.New(job.newDims[m], r)
+			for rank, payload := range parts {
+				vals, err := cluster.DecodeFloat64s(payload)
+				if err != nil {
+					return nil, err
+				}
+				rows := job.plan.OwnedSlices[m][rank]
+				if len(vals) != len(rows)*r {
+					return nil, fmt.Errorf("core: state sync mode %d rank %d: %d values for %d rows", m, rank, len(vals), len(rows))
+				}
+				for i, sl := range rows {
+					copy(out.Row(int(sl)), vals[i*r:(i+1)*r])
+				}
+			}
+			enc = cluster.EncodeFloat64s(out.Data)
+		}
+		got, err := vw.BroadcastBytes(0, enc)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := cluster.DecodeFloat64s(got)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != job.newDims[m]*r {
+			return nil, fmt.Errorf("core: state sync mode %d: %d values for %dx%d", m, len(vals), job.newDims[m], r)
+		}
+		factors[m] = mat.New(job.newDims[m], r)
+		copy(factors[m].Data, vals)
+	}
+	return &dtd.State{Dims: append([]int(nil), job.newDims...), Factors: factors}, nil
+}

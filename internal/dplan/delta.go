@@ -1,0 +1,192 @@
+// Plan deltas and factor-row migration for elastic membership: when a
+// view change removes or adds workers mid-step, the surviving ranks
+// derive a minimally different plan (partition.Rebalance per mode),
+// diff the row ownership against the old plan, and ship exactly the
+// moved rows over the pooled transport path. Rows whose old owner died
+// cannot be shipped — their freshest surviving copy is the local
+// replica every rank already holds (at worst one aborted sweep stale,
+// the same staleness a checkpoint restore would accept) — so the new
+// owner absorbs its replica values at zero wire cost: the degraded-
+// mode policy that lets survivors finish the in-flight sweep instead
+// of aborting the decomposition.
+
+package dplan
+
+import (
+	"fmt"
+
+	"dismastd/internal/cluster"
+	"dismastd/internal/mat"
+	"dismastd/internal/partition"
+)
+
+// RebuildRebalanced derives the next view's plan from the current one
+// with minimal slice movement: each mode's partitioning is rebalanced
+// (surviving workers keep their slices, orphaned slices spread LPT-
+// style), then the downstream structures are re-assembled. Workers and
+// partitions map 1:1 in elastic operation, so old.Parts must equal
+// old.Workers. Deterministic: every survivor computes an identical
+// plan without communicating.
+func RebuildRebalanced(old *Plan, oldView, newView cluster.View) (*Plan, error) {
+	if old.Parts != old.Workers {
+		return nil, fmt.Errorf("dplan: elastic rebalance needs parts == workers, have %d != %d", old.Parts, old.Workers)
+	}
+	if old.Workers != oldView.Size() {
+		return nil, fmt.Errorf("dplan: plan for %d workers under view of %d", old.Workers, oldView.Size())
+	}
+	// remap[oldRank] = newRank for survivors, −1 for departed workers —
+	// computed through world ranks, the identity stable across views.
+	remap := make([]int32, oldView.Size())
+	for o := range remap {
+		remap[o] = int32(newView.RankOf(oldView.WorldOf(o)))
+	}
+	p := &Plan{
+		Tensor:  old.Tensor,
+		Dims:    append([]int(nil), old.Dims...),
+		Workers: newView.Size(),
+		Parts:   newView.Size(),
+		Method:  old.Method,
+	}
+	p.ModePlans = make([]*partition.ModePlan, len(old.ModePlans))
+	for m, mp := range old.ModePlans {
+		np := partition.Rebalance(old.Tensor.SliceNNZ(m), mp, remap, newView.Size())
+		np.Mode = m
+		p.ModePlans[m] = np
+	}
+	p.assemble()
+	return p, nil
+}
+
+// Delta is the row-movement diff between two plans across a view
+// change, expressed in the NEW view's ranks (migration runs on the new
+// epoch's view worker).
+type Delta struct {
+	// Moved[mode] lists the row flows whose old owner survived: the old
+	// owner sends its current (warm) row values to the new owner.
+	Moved [][]Flow
+	// Absorbed[mode][newRank] lists rows whose old owner died: the new
+	// owner adopts its local replica (latest known values), zero bytes.
+	Absorbed [][][]int32
+}
+
+// Flow is one (sender, receiver) row batch of the migration.
+type Flow struct {
+	From, To int // new-view ranks
+	Rows     []int32
+}
+
+// MovedRows returns the total rows shipped per mode summed over flows.
+func (d *Delta) MovedRows() int {
+	total := 0
+	for _, flows := range d.Moved {
+		for _, f := range flows {
+			total += len(f.Rows)
+		}
+	}
+	return total
+}
+
+// AbsorbedRows returns the total rows adopted from dead ranks.
+func (d *Delta) AbsorbedRows() int {
+	total := 0
+	for _, byRank := range d.Absorbed {
+		for _, rows := range byRank {
+			total += len(rows)
+		}
+	}
+	return total
+}
+
+// ComputeDelta diffs row ownership between oldPlan (under oldView) and
+// newPlan (under newView). A row flows when both its old and new owner
+// survive in the new view but differ; it is absorbed when its old
+// owner is gone. Deterministic given identical inputs.
+func ComputeDelta(oldPlan *Plan, oldView cluster.View, newPlan *Plan, newView cluster.View) *Delta {
+	n := len(newPlan.Dims)
+	d := &Delta{
+		Moved:    make([][]Flow, n),
+		Absorbed: make([][][]int32, n),
+	}
+	for m := 0; m < n; m++ {
+		d.Absorbed[m] = make([][]int32, newPlan.Workers)
+		// flows keyed (from, to); iteration order kept deterministic by
+		// scanning rows in ascending order and appending first-seen
+		// pairs to a list.
+		type pair struct{ from, to int }
+		idx := map[pair]int{}
+		var flows []Flow
+		for row := 0; row < oldPlan.Dims[m]; row++ {
+			oldWorld := oldView.WorldOf(int(oldPlan.Owner[m][row]))
+			newRank := int(newPlan.Owner[m][row])
+			newWorld := newView.WorldOf(newRank)
+			if oldWorld == newWorld {
+				continue // unmoved
+			}
+			oldRank := newView.RankOf(oldWorld)
+			if oldRank < 0 {
+				d.Absorbed[m][newRank] = append(d.Absorbed[m][newRank], int32(row))
+				continue
+			}
+			k := pair{oldRank, newRank}
+			i, ok := idx[k]
+			if !ok {
+				i = len(flows)
+				idx[k] = i
+				flows = append(flows, Flow{From: oldRank, To: newRank})
+			}
+			flows[i].Rows = append(flows[i].Rows, int32(row))
+		}
+		d.Moved[m] = flows
+	}
+	return d
+}
+
+// Migrate ships the moved factor rows over the pooled transport on the
+// new epoch's view worker: for each mode, surviving old owners pack
+// their warm row values into pooled buffers and push them to the new
+// owners under the epoch-fenced "mig/<mode>" stream tag. Absorbed rows
+// cost nothing — the new owner's replica already holds their freshest
+// surviving values. All members of the new view must call it in
+// lockstep after a view change; factors are the full local replicas.
+func Migrate(vw *cluster.Worker, d *Delta, factors []*mat.Dense) error {
+	me := vw.Rank()
+	migrated := vw.Obs().Counter("elastic.migrate.rows")
+	for m, flows := range d.Moved {
+		tag := vw.StreamTagIndexed("mig", m)
+		r := factors[m].Cols
+		for _, f := range flows {
+			if f.From != me {
+				continue
+			}
+			buf := vw.GetBuf(8 * len(f.Rows) * r)
+			off := 0
+			for _, row := range f.Rows {
+				cluster.PutFloat64s(buf[off:off+8*r], factors[m].Row(int(row)))
+				off += 8 * r
+			}
+			migrated.Add(int64(len(f.Rows)))
+			if err := vw.SendPooled(f.To, tag, buf); err != nil {
+				return err
+			}
+		}
+		for _, f := range flows {
+			if f.To != me {
+				continue
+			}
+			payload, err := vw.Recv(f.From, tag)
+			if err != nil {
+				return err
+			}
+			if len(payload) != 8*len(f.Rows)*r {
+				return fmt.Errorf("dplan: migration from %d mode %d: %d bytes for %d rows", f.From, m, len(payload), len(f.Rows))
+			}
+			off := 0
+			for _, row := range f.Rows {
+				cluster.CopyFloat64s(factors[m].Row(int(row)), payload[off:off+8*r])
+				off += 8 * r
+			}
+			vw.PutBuf(payload)
+		}
+	}
+	return nil
+}

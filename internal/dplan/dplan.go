@@ -78,19 +78,31 @@ func Build(t *tensor.Tensor, workers, parts int, method partition.Method) *Plan 
 		Method:  method,
 	}
 	p.ModePlans = make([]*partition.ModePlan, n)
-	p.Owner = make([][]int32, n)
 	for m := 0; m < n; m++ {
 		mp := partition.Partition(t.SliceNNZ(m), parts, method)
 		mp.Mode = m
 		p.ModePlans[m] = mp
-		owner := make([]int32, t.Dims[m])
-		for i, part := range mp.Assign {
-			owner[i] = part % int32(workers) // round-robin partitions onto workers
+	}
+	p.assemble()
+	return p
+}
+
+// assemble derives everything downstream of the mode plans: ownership,
+// entry lists, owned-slice lists, and the row subscriptions. Build and
+// the elastic rebalanced rebuild (delta.go) share it.
+func (p *Plan) assemble() {
+	n := len(p.Dims)
+	t := p.Tensor
+	p.Owner = make([][]int32, n)
+	for m := 0; m < n; m++ {
+		owner := make([]int32, p.Dims[m])
+		for i, part := range p.ModePlans[m].Assign {
+			owner[i] = part % int32(p.Workers) // round-robin partitions onto workers
 		}
 		p.Owner[m] = owner
 	}
 
-	p.EntryLists = make([][][]int32, workers)
+	p.EntryLists = make([][][]int32, p.Workers)
 	for w := range p.EntryLists {
 		p.EntryLists[w] = make([][]int32, n)
 	}
@@ -104,14 +116,13 @@ func Build(t *tensor.Tensor, workers, parts int, method partition.Method) *Plan 
 
 	p.OwnedSlices = make([][][]int32, n)
 	for m := 0; m < n; m++ {
-		p.OwnedSlices[m] = make([][]int32, workers)
+		p.OwnedSlices[m] = make([][]int32, p.Workers)
 		for i, w := range p.Owner[m] {
 			p.OwnedSlices[m][w] = append(p.OwnedSlices[m][w], int32(i))
 		}
 	}
 
 	p.buildSubscriptions()
-	return p
 }
 
 func (p *Plan) buildSubscriptions() {

@@ -1,0 +1,89 @@
+package dtd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"dismastd/internal/mat"
+)
+
+func testState(t *testing.T) *State {
+	t.Helper()
+	st := &State{Dims: []int{4, 3}}
+	for _, d := range st.Dims {
+		f := mat.New(d, 2)
+		for i := range f.Data {
+			f.Data[i] = float64(i) + 0.5
+		}
+		st.Factors = append(st.Factors, f)
+	}
+	return st
+}
+
+func encodeState(t *testing.T, st *State) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	st := testState(t)
+	got, err := ReadState(bytes.NewReader(encodeState(t, st)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Dims) != 2 || got.Dims[0] != 4 || got.Dims[1] != 3 {
+		t.Fatalf("round-tripped dims %v", got.Dims)
+	}
+	for m := range st.Factors {
+		if d := mat.MaxAbsDiff(got.Factors[m], st.Factors[m]); d != 0 {
+			t.Fatalf("mode %d differs by %g after round trip", m, d)
+		}
+	}
+}
+
+// TestStateCorruptionDetected: every way a checkpoint file can be
+// damaged — truncated header, truncated payload, flipped payload bit,
+// wrong magic — must surface as the typed ErrCorruptState, never as a
+// successfully decoded wrong state or a generic decode error.
+func TestStateCorruptionDetected(t *testing.T) {
+	good := encodeState(t, testState(t))
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0x01
+	badMagic := append([]byte(nil), good...)
+	copy(badMagic, "NOPE")
+	for name, data := range map[string][]byte{
+		"empty":             nil,
+		"truncated header":  good[:stateHdrLen-3],
+		"truncated payload": good[:len(good)-5],
+		"flipped bit":       flipped,
+		"bad magic":         badMagic,
+		"missing envelope":  good[stateHdrLen:],
+	} {
+		_, err := ReadState(bytes.NewReader(data))
+		if !errors.Is(err, ErrCorruptState) {
+			t.Fatalf("%s: error = %v, want ErrCorruptState", name, err)
+		}
+	}
+}
+
+// TestStateFutureVersionRejected: a higher format version is refused
+// with a message naming both versions, but NOT as corruption — the file
+// may be intact and readable by a newer build.
+func TestStateFutureVersionRejected(t *testing.T) {
+	data := encodeState(t, testState(t))
+	binary.LittleEndian.PutUint32(data[4:], stateVersion+1)
+	_, err := ReadState(bytes.NewReader(data))
+	if err == nil || errors.Is(err, ErrCorruptState) {
+		t.Fatalf("future version: error = %v, want a non-corrupt version error", err)
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version error does not say so: %v", err)
+	}
+}

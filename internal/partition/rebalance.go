@@ -1,0 +1,164 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rebalance adapts an existing mode plan to a changed partition set
+// with minimal slice movement — the elastic counterpart of running GTP
+// or MTP from scratch, which would reshuffle nearly every slice and
+// turn a one-rank membership change into a full data redistribution.
+//
+// remap says where each old partition's slices land: remap[p] is the
+// new partition inheriting old partition p, or −1 if p departed (its
+// worker died or drained). Slices of remapped partitions stay put;
+// orphaned slices are redistributed LPT-style (heaviest first onto the
+// lightest partition — the same max-min greedy as MTP); and a bounded
+// local search then moves single slices from the heaviest partition to
+// the lightest while that strictly improves balance, which is what
+// feeds freshly joined (initially empty) partitions when nobody died.
+//
+// Every step is deterministic, so all survivors of a view change
+// compute bitwise-identical plans independently.
+func Rebalance(slices []int64, old *ModePlan, remap []int32, newParts int) *ModePlan {
+	if len(old.Assign) != len(slices) {
+		panic(fmt.Sprintf("partition: rebalance of %d slices with %d assignments", len(slices), len(old.Assign)))
+	}
+	if len(remap) != old.Parts {
+		panic(fmt.Sprintf("partition: remap of %d entries for %d partitions", len(remap), old.Parts))
+	}
+	checkParts(len(slices), newParts)
+	assign := make([]int32, len(slices))
+	loads := make([]int64, newParts)
+	counts := make([]int, newParts)
+	var orphans []int
+	for i, p := range old.Assign {
+		np := remap[p]
+		if np >= int32(newParts) {
+			panic(fmt.Sprintf("partition: remap[%d] = %d of %d", p, np, newParts))
+		}
+		if np >= 0 {
+			assign[i] = np
+			loads[np] += slices[i]
+			counts[np]++
+		} else {
+			assign[i] = -1
+			orphans = append(orphans, i)
+		}
+	}
+
+	// LPT over the orphans: heaviest slice first, onto the lightest
+	// partition. Zero-nnz orphans go by slice count, like MTP's
+	// zero-slice round-robin, so row-update work stays spread.
+	sort.Slice(orphans, func(a, b int) bool {
+		if slices[orphans[a]] != slices[orphans[b]] {
+			return slices[orphans[a]] > slices[orphans[b]]
+		}
+		return orphans[a] < orphans[b]
+	})
+	for _, i := range orphans {
+		min := 0
+		for q := 1; q < newParts; q++ {
+			if loads[q] < loads[min] || (loads[q] == loads[min] && counts[q] < counts[min]) {
+				min = q
+			}
+		}
+		assign[i] = int32(min)
+		loads[min] += slices[i]
+		counts[min]++
+	}
+
+	// Local search, only when no partition departed: repeatedly move
+	// one slice from the heaviest to the lightest partition, which is
+	// what feeds a freshly joined empty partition. A shrink already
+	// moved exactly the orphans — the minimum possible — and LPT placed
+	// them against the surviving loads, so churning survivor slices on
+	// top would break the only-moved-slices migration contract for no
+	// balance the orphan placement didn't get. A move of nnz a across a
+	// load gap g changes the sum of squared loads by 2a(a−g) < 0
+	// whenever 0 < a < g, so the search monotonically descends and must
+	// terminate; the slice count bound is a hard backstop. Preferring
+	// the largest a ≤ g/2 converges in few moves; when only larger
+	// slices exist, the smallest mover below g still descends.
+	for iter := 0; len(orphans) == 0 && iter < len(slices); iter++ {
+		h, l := 0, 0
+		for q := 1; q < newParts; q++ {
+			if loads[q] > loads[h] {
+				h = q
+			}
+			if loads[q] < loads[l] {
+				l = q
+			}
+		}
+		gap := loads[h] - loads[l]
+		if gap <= 0 {
+			break
+		}
+		bestHalf, bestSmall := -1, -1
+		for i, p := range assign {
+			a := slices[i]
+			if int(p) != h || a <= 0 || a >= gap {
+				continue
+			}
+			if 2*a <= gap {
+				if bestHalf < 0 || a > slices[bestHalf] || (a == slices[bestHalf] && i < bestHalf) {
+					bestHalf = i
+				}
+			} else if bestSmall < 0 || a < slices[bestSmall] || (a == slices[bestSmall] && i < bestSmall) {
+				bestSmall = i
+			}
+		}
+		move := bestHalf
+		if move < 0 {
+			move = bestSmall
+		}
+		if move < 0 {
+			break
+		}
+		assign[move] = int32(l)
+		loads[h] -= slices[move]
+		loads[l] += slices[move]
+		counts[h]--
+		counts[l]++
+	}
+
+	// Empty partitions with zero-nnz slices available elsewhere: give a
+	// joiner at least its share of row-update work even on modes whose
+	// load the nnz statistic cannot see.
+	for q := 0; q < newParts; q++ {
+		if counts[q] > 0 {
+			continue
+		}
+		for {
+			donor, slice := -1, -1
+			for i, p := range assign {
+				if slices[i] == 0 && counts[p] > counts[q]+1 && (donor < 0 || counts[p] > counts[donor]) {
+					donor, slice = int(p), i
+				}
+			}
+			if slice < 0 {
+				break
+			}
+			assign[slice] = int32(q)
+			counts[donor]--
+			counts[q]++
+		}
+	}
+
+	return &ModePlan{Mode: old.Mode, Parts: newParts, Assign: assign, Loads: loadsFromAssign(slices, assign, newParts)}
+}
+
+// Moved counts the slices whose partition changed between two
+// assignments over the same slice set, given a remap aligning old
+// partition ids to new ones — the movement statistic Rebalance
+// minimises and migration tests assert on.
+func Moved(before, after *ModePlan, remap []int32) int {
+	moved := 0
+	for i, p := range before.Assign {
+		if after.Assign[i] != remap[p] { // remap[p] < 0 never equals a real partition
+			moved++
+		}
+	}
+	return moved
+}

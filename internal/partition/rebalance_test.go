@@ -1,0 +1,116 @@
+package partition
+
+import (
+	"testing"
+)
+
+func checkAssignment(t *testing.T, mp *ModePlan, slices []int64, parts int) {
+	t.Helper()
+	if mp.Parts != parts || len(mp.Assign) != len(slices) {
+		t.Fatalf("plan shape: parts %d assign %d", mp.Parts, len(mp.Assign))
+	}
+	for i, p := range mp.Assign {
+		if p < 0 || int(p) >= parts {
+			t.Fatalf("slice %d assigned to %d of %d", i, p, parts)
+		}
+	}
+	want := loadsFromAssign(slices, mp.Assign, parts)
+	for p, l := range mp.Loads {
+		if l != want[p] {
+			t.Fatalf("loads[%d] = %d, recomputed %d", p, l, want[p])
+		}
+	}
+}
+
+// TestRebalanceShrinkMovesOnlyOrphans checks the core movement-
+// minimisation property: when a partition departs, exactly its slices
+// move and every surviving partition keeps its assignment.
+func TestRebalanceShrinkMovesOnlyOrphans(t *testing.T) {
+	slices := randomSlices(60, 7)
+	old := MTP(slices, 4)
+	// Partition 2 departs; 0,1,3 renumber to 0,1,2.
+	remap := []int32{0, 1, -1, 2}
+	next := Rebalance(slices, old, remap, 3)
+	checkAssignment(t, next, slices, 3)
+	for i, p := range old.Assign {
+		if remap[p] < 0 {
+			continue // orphan: may land anywhere
+		}
+		if next.Assign[i] != remap[p] {
+			t.Fatalf("slice %d moved from surviving partition %d to %d", i, p, next.Assign[i])
+		}
+	}
+	orphanCount := 0
+	for _, p := range old.Assign {
+		if remap[p] < 0 {
+			orphanCount++
+		}
+	}
+	if got := Moved(old, next, remap); got > orphanCount {
+		t.Fatalf("moved %d slices, only %d orphaned", got, orphanCount)
+	}
+	// The result must stay reasonably balanced — no worse than twice
+	// the from-scratch heuristic's makespan on this data.
+	if scratch := MTP(slices, 3); next.MaxLoad() > 2*scratch.MaxLoad() {
+		t.Fatalf("rebalanced makespan %d vs scratch %d", next.MaxLoad(), scratch.MaxLoad())
+	}
+}
+
+// TestRebalanceGrowFeedsJoiner checks the local search: a freshly
+// joined (empty) partition must end up with a meaningful share of the
+// load, while the total movement stays far below a full reshuffle.
+func TestRebalanceGrowFeedsJoiner(t *testing.T) {
+	slices := randomSlices(80, 13)
+	var total int64
+	for _, a := range slices {
+		total += a
+	}
+	old := MTP(slices, 3)
+	remap := []int32{0, 1, 2} // everyone stays; partition 3 joins empty
+	next := Rebalance(slices, old, remap, 4)
+	checkAssignment(t, next, slices, 4)
+	target := total / 4
+	if got := next.Loads[3]; got < target/2 {
+		t.Fatalf("joiner got %d nnz, target %d", got, target)
+	}
+	// Movement bounded: feeding one joiner must cost a modest number of
+	// moves, nothing like the near-total reshuffle a from-scratch MTP
+	// would imply (its descending-nnz greedy scatters every slice).
+	if moved := Moved(old, next, remap); moved > len(slices)/3 {
+		t.Fatalf("moved %d of %d slices to feed one joiner", moved, len(slices))
+	}
+}
+
+// TestRebalanceDeterministic: survivors rebuild plans independently, so
+// two identical calls must agree bitwise.
+func TestRebalanceDeterministic(t *testing.T) {
+	slices := randomSlices(64, 21)
+	old := GTP(slices, 4)
+	remap := []int32{0, -1, 1, 2}
+	a := Rebalance(slices, old, remap, 3)
+	b := Rebalance(slices, old, remap, 3)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("nondeterministic at slice %d", i)
+		}
+	}
+}
+
+// TestRebalanceEmptyModeSpreadsRows: a mode with no nnz at all (fully
+// zero histogram) still spreads slices by count so the joiner shares
+// the row-update work.
+func TestRebalanceEmptyModeSpreadsRows(t *testing.T) {
+	slices := make([]int64, 30)
+	old := MTP(slices, 3)
+	next := Rebalance(slices, old, []int32{0, 1, 2}, 4)
+	checkAssignment(t, next, slices, 4)
+	counts := make([]int, 4)
+	for _, p := range next.Assign {
+		counts[p]++
+	}
+	for q, c := range counts {
+		if c == 0 {
+			t.Fatalf("partition %d owns no slices: %v", q, counts)
+		}
+	}
+}
