@@ -9,8 +9,8 @@ CLUSTER_PKGS = ./internal/cluster/... ./internal/core/... ./internal/dplan/... .
 # packages is what enforces that no scratch buffer leaks across
 # goroutines.
 NUMERIC_PKGS = ./internal/par/... ./internal/mat/... ./internal/mttkrp/... \
-	./internal/cp/... ./internal/dtd/... ./internal/dmsmg/... \
-	./internal/completion/... ./internal/onlinecp/...
+	./internal/layout/... ./internal/cp/... ./internal/dtd/... \
+	./internal/dmsmg/... ./internal/completion/... ./internal/onlinecp/...
 
 .PHONY: all build test vet race check bench bench-comm bench-paper bench-par profile clean
 

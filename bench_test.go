@@ -168,7 +168,7 @@ func BenchmarkAblationMTTKRPKernels(b *testing.B) {
 		dst := mat.New(t.Dims[0], 10)
 		for i := 0; i < b.N; i++ {
 			dst.Zero()
-			view.AccumulateInto(dst, t, factors)
+			view.AccumulateInto(dst, factors)
 		}
 	})
 }

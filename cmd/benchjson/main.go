@@ -14,7 +14,9 @@
 // (goos/goarch/cpu headers from the bench output, GOMAXPROCS from the
 // benchmark name suffix), and rows that differ only in a "threads=N"
 // name segment gain a derived speedup_vs_1 metric — the 1-thread
-// ns/op of the same benchmark divided by the row's own.
+// ns/op of the same benchmark divided by the row's own. Rows that
+// differ only in a "layout=K" segment likewise gain speedup_vs_coo
+// against the layout=coo baseline.
 package main
 
 import (
@@ -104,24 +106,38 @@ func procsSuffix(name string) int {
 	return n
 }
 
-var threadsSeg = regexp.MustCompile(`threads=(\d+)`)
+var (
+	threadsSeg = regexp.MustCompile(`threads=(\d+)`)
+	layoutSeg  = regexp.MustCompile(`layout=(\w+)`)
+)
 
 // addSpeedups annotates every row whose name carries a "threads=N"
-// segment with speedup_vs_1: the ns/op of the matching threads=1 row
-// (same package, same name otherwise) divided by the row's own ns/op.
+// segment with speedup_vs_1 (the ns/op of the matching threads=1 row —
+// same package, same name otherwise — divided by the row's own), and
+// every row carrying a "layout=K" segment with speedup_vs_coo against
+// the matching layout=coo row. The two derivations are independent: a
+// layout=compiled/threads=8 row gains both columns.
 func addSpeedups(rows []Row) {
+	derive(rows, threadsSeg, "1", "speedup_vs_1")
+	derive(rows, layoutSeg, "coo", "speedup_vs_coo")
+}
+
+// derive adds metric to every row whose name matches seg, computed as
+// the ns/op of the baseline row (seg's capture equal to baseVal, same
+// package and name otherwise) divided by the row's own ns/op.
+func derive(rows []Row, seg *regexp.Regexp, baseVal, metric string) {
 	key := func(r Row) string {
-		return r.Package + "|" + threadsSeg.ReplaceAllString(r.Name, "threads=*")
+		return r.Package + "|" + seg.ReplaceAllString(r.Name, "*")
 	}
 	base := map[string]float64{}
 	for _, r := range rows {
-		if m := threadsSeg.FindStringSubmatch(r.Name); m != nil && m[1] == "1" {
+		if m := seg.FindStringSubmatch(r.Name); m != nil && m[1] == baseVal {
 			base[key(r)] = r.NsPerOp
 		}
 	}
 	for i := range rows {
 		r := &rows[i]
-		if threadsSeg.FindStringIndex(r.Name) == nil {
+		if seg.FindStringIndex(r.Name) == nil {
 			continue
 		}
 		b, ok := base[key(*r)]
@@ -131,7 +147,7 @@ func addSpeedups(rows []Row) {
 		if r.Extra == nil {
 			r.Extra = map[string]float64{}
 		}
-		r.Extra["speedup_vs_1"] = b / r.NsPerOp
+		r.Extra[metric] = b / r.NsPerOp
 	}
 }
 

@@ -74,3 +74,35 @@ func TestAddSpeedups(t *testing.T) {
 		t.Fatal("speedup on a row without a threads segment")
 	}
 }
+
+func TestAddLayoutSpeedups(t *testing.T) {
+	rows := []Row{
+		{Package: "p", Name: "BenchmarkMTTKRP/layout=coo/mode=0-8", NsPerOp: 8000},
+		{Package: "p", Name: "BenchmarkMTTKRP/layout=compiled/mode=0-8", NsPerOp: 2000},
+		{Package: "p", Name: "BenchmarkMTTKRP/layout=compiled/mode=1-8", NsPerOp: 3000}, // no coo base for mode=1
+		{Package: "p", Name: "BenchmarkFlatKernel-8", NsPerOp: 999},                     // no layout segment
+		{Package: "p", Name: "BenchmarkParallelSweep/layout=compiled/threads=4-8", NsPerOp: 500},
+		{Package: "p", Name: "BenchmarkParallelSweep/layout=coo/threads=4-8", NsPerOp: 1500},
+		{Package: "p", Name: "BenchmarkParallelSweep/layout=compiled/threads=1-8", NsPerOp: 1000},
+	}
+	addSpeedups(rows)
+	if got := rows[0].Extra["speedup_vs_coo"]; got != 1 {
+		t.Fatalf("layout=coo speedup %v, want 1", got)
+	}
+	if got := rows[1].Extra["speedup_vs_coo"]; got != 4 {
+		t.Fatalf("layout=compiled speedup %v, want 4", got)
+	}
+	if _, ok := rows[2].Extra["speedup_vs_coo"]; ok {
+		t.Fatal("speedup without a coo baseline row")
+	}
+	if _, ok := rows[3].Extra["speedup_vs_coo"]; ok {
+		t.Fatal("speedup on a row without a layout segment")
+	}
+	// The two derivations are independent and may land on one row.
+	if got := rows[4].Extra["speedup_vs_coo"]; got != 3 {
+		t.Fatalf("mixed row layout speedup %v, want 3", got)
+	}
+	if got := rows[4].Extra["speedup_vs_1"]; got != 2 {
+		t.Fatalf("mixed row thread speedup %v, want 2", got)
+	}
+}

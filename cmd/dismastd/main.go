@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	mu := fs.Float64("mu", 0.8, "forgetting factor in (0, 1]")
 	workers := fs.Int("workers", 1, "worker count (1 = centralized DTD, >1 = distributed DisMASTD)")
 	threads := fs.Int("threads", 0, "compute threads per worker (0 = GOMAXPROCS); results are identical at every value")
+	layoutFlag := fs.String("layout", "coo", "sparse kernel representation: coo or compiled; results are identical under either")
 	parts := fs.Int("parts", 0, "tensor partitions per mode (default = workers)")
 	method := fs.String("method", "gtp", "partitioning heuristic: gtp or mtp")
 	seed := fs.Uint64("seed", 1, "initialisation seed")
@@ -77,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	opts := dismastd.Options{
 		Rank: *rank, MaxIters: *iters, ForgettingFactor: *mu, Seed: *seed,
 		Workers: *workers, Parts: *parts, Partitioner: partitioner,
-		Threads: nthreads,
+		Threads: nthreads, Layout: *layoutFlag,
 	}
 	stream := dismastd.NewStream(opts)
 	if *resume != "" {

@@ -43,6 +43,7 @@ import (
 	"dismastd/internal/cluster"
 	"dismastd/internal/core"
 	"dismastd/internal/dtd"
+	"dismastd/internal/layout"
 	"dismastd/internal/obs"
 	"dismastd/internal/partition"
 	"dismastd/internal/tensor"
@@ -65,6 +66,7 @@ type workerConfig struct {
 	resume        bool
 	rank, iters   int
 	threads       int
+	layout        layout.Kind
 	mu            float64
 	method        partition.Method
 	seed          uint64
@@ -106,6 +108,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rank := fs.Int("rank", 10, "CP rank R")
 	iters := fs.Int("iters", 10, "maximum ALS sweeps")
 	threads := fs.Int("threads", 0, "compute threads for this rank's numeric kernels (0 = GOMAXPROCS); results are identical at every value")
+	layoutFlag := fs.String("layout", "coo", "sparse kernel representation: coo or compiled; results are identical under either")
 	mu := fs.Float64("mu", 0.8, "forgetting factor")
 	method := fs.String("method", "mtp", "partitioning heuristic: gtp or mtp")
 	seed := fs.Uint64("seed", 1, "initialisation seed")
@@ -170,12 +173,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if !*elastic && (len(joins)+len(drains)+len(kills) > 0 || *members != 0) {
 			return fmt.Errorf("-members/-join-at/-drain-at/-kill-at require -elastic")
 		}
+		lk, err := layout.ParseKind(*layoutFlag)
+		if err != nil {
+			return err
+		}
 		cfg := workerConfig{
 			join: *join, listen: *listen,
 			tensors:  strings.Split(*tensorPath, ","),
 			prevPath: *prevPath, outPath: *outPath,
 			checkpoint: *checkpoint, resume: *resume,
-			rank: *rank, iters: *iters, threads: resolveThreads(*threads), mu: *mu, method: pm, seed: *seed,
+			rank: *rank, iters: *iters, threads: resolveThreads(*threads), layout: lk, mu: *mu, method: pm, seed: *seed,
 			timeout: *timeout, heartbeat: *heartbeat, chaosKillStep: *chaosKill,
 			debugAddr: *debugAddr, ringThreshold: *ringThreshold,
 			elastic: *elastic, members: *members,
@@ -254,7 +261,8 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 		}
 		job, err := core.NewStepJob(prev, snaps[step], core.Options{
 			Rank: cfg.rank, MaxIters: cfg.iters, Mu: cfg.mu, Seed: cfg.seed,
-			Workers: node.Size(), Method: cfg.method, Threads: cfg.threads, Obs: node.Obs(),
+			Workers: node.Size(), Method: cfg.method, Threads: cfg.threads,
+			Layout: cfg.layout, Obs: node.Obs(),
 		})
 		if err != nil {
 			return err
@@ -346,7 +354,7 @@ func runElasticWorker(stdout io.Writer, log *slog.Logger, node *cluster.TCPNode,
 	o := core.ElasticOptions{
 		Options: core.Options{
 			Rank: cfg.rank, MaxIters: cfg.iters, Mu: cfg.mu, Seed: cfg.seed,
-			Method: cfg.method, Threads: cfg.threads, Obs: node.Obs(),
+			Method: cfg.method, Threads: cfg.threads, Layout: cfg.layout, Obs: node.Obs(),
 		},
 		World:       node.Size(),
 		Members:     members,

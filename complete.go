@@ -1,7 +1,10 @@
 package dismastd
 
 import (
+	"fmt"
+
 	"dismastd/internal/completion"
+	"dismastd/internal/layout"
 	"dismastd/internal/partition"
 )
 
@@ -34,10 +37,18 @@ type CompletionOptions struct {
 	// Workers > 1, each worker) runs on. 0 or 1 means sequential;
 	// results are bitwise identical at every value.
 	Threads int
+	// Layout selects the sparse-kernel representation ("coo" or
+	// "compiled"; "" means "coo") — see Options.Layout. Results are
+	// bitwise identical under either.
+	Layout string
 }
 
-func (o CompletionOptions) internal() completion.Options {
-	return completion.Options{Rank: o.Rank, MaxIters: o.MaxIters, Tol: o.Tol, Lambda: o.Lambda, Seed: o.Seed, Threads: o.Threads}
+func (o CompletionOptions) internal() (completion.Options, error) {
+	kind, err := layout.ParseKind(o.Layout)
+	if err != nil {
+		return completion.Options{}, fmt.Errorf("dismastd: %v", err)
+	}
+	return completion.Options{Rank: o.Rank, MaxIters: o.MaxIters, Tol: o.Tol, Lambda: o.Lambda, Seed: o.Seed, Threads: o.Threads, Layout: kind}, nil
 }
 
 // CompletionResult reports a completion fit.
@@ -53,9 +64,13 @@ type CompletionResult struct {
 // Decompose, unobserved cells do not pull predictions toward zero.
 // With Workers > 1 the fit runs on an in-process worker cluster.
 func Complete(x *Tensor, opts CompletionOptions) (*CompletionResult, error) {
+	iopts, err := opts.internal()
+	if err != nil {
+		return nil, err
+	}
 	if opts.Workers > 1 {
 		res, err := completion.DecomposeDistributed(x, completion.DistributedOptions{
-			Options: opts.internal(), Workers: opts.Workers, Parts: opts.Parts,
+			Options: iopts, Workers: opts.Workers, Parts: opts.Parts,
 			Method: partition.Method(opts.Partitioner),
 		})
 		if err != nil {
@@ -63,7 +78,7 @@ func Complete(x *Tensor, opts CompletionOptions) (*CompletionResult, error) {
 		}
 		return &CompletionResult{Factors: res.Factors, Iters: res.Iters, RMSE: res.RMSE}, nil
 	}
-	res, err := completion.Decompose(x, opts.internal())
+	res, err := completion.Decompose(x, iopts)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +90,11 @@ func Complete(x *Tensor, opts CompletionOptions) (*CompletionResult, error) {
 // (grown) dims and refined by warm-started sweeps over its
 // observations. prev is not modified.
 func CompleteNext(prev *CompletionResult, snapshot *Tensor, opts CompletionOptions) (*CompletionResult, error) {
-	res, err := completion.StreamStep(prev.Factors, snapshot, opts.internal())
+	iopts, err := opts.internal()
+	if err != nil {
+		return nil, err
+	}
+	res, err := completion.StreamStep(prev.Factors, snapshot, iopts)
 	if err != nil {
 		return nil, err
 	}

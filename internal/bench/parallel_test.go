@@ -39,11 +39,11 @@ func BenchmarkParallelMTTKRP(b *testing.B) {
 			wss := mat.NewWorkspaceSet(pool.Threads())
 			acc := mttkrp.NewParAccumulator(pool, wss, nil)
 			dst.Zero()
-			acc.Accumulate(dst, view, x, factors, "") // warm the workspaces
+			acc.Accumulate(dst, view, factors, "") // warm the workspaces
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dst.Zero()
-				acc.Accumulate(dst, view, x, factors, "")
+				acc.Accumulate(dst, view, factors, "")
 			}
 			b.ReportMetric(float64(view.NNZ()), "nnz")
 		})
@@ -94,13 +94,13 @@ func TestParallelBenchFixturesAgree(t *testing.T) {
 	}
 	view := mttkrp.NewModeView(x, 0)
 	want := mat.New(x.Dims[0], cfg.Rank)
-	view.AccumulateInto(want, x, factors)
+	view.AccumulateInto(want, factors)
 	for _, threads := range benchThreadCounts {
 		pool := par.New(threads)
 		wss := mat.NewWorkspaceSet(pool.Threads())
 		acc := mttkrp.NewParAccumulator(pool, wss, nil)
 		got := mat.New(x.Dims[0], cfg.Rank)
-		acc.Accumulate(got, view, x, factors, "")
+		acc.Accumulate(got, view, factors, "")
 		for i := range got.Data {
 			if got.Data[i] != want.Data[i] {
 				t.Fatalf("threads=%d: element %d = %v, want %v", threads, i, got.Data[i], want.Data[i])

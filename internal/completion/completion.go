@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 
+	"dismastd/internal/layout"
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
 	"dismastd/internal/par"
@@ -48,6 +49,12 @@ type Options struct {
 	// system is built and solved by exactly one chunk, so results are
 	// bitwise identical at every value.
 	Threads int
+
+	// Layout selects the kernel representation the row sweeps enumerate
+	// (see internal/layout): COO (default) or Compiled. Each row's
+	// observations are visited in the same order under either, so the
+	// fit is bitwise identical.
+	Layout layout.Kind
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -128,9 +135,9 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 
 	n := x.Order()
 	r := opts.Rank
-	views := make([]*mttkrp.ModeView, n)
+	kernels := make([]mttkrp.Kernel, n)
 	for m := 0; m < n; m++ {
-		views[m] = mttkrp.NewModeView(x, m)
+		kernels[m] = mttkrp.NewKernel(x, m, opts.Layout)
 	}
 
 	// All sweep scratch lives in per-thread workspaces: each chunk of
@@ -142,14 +149,14 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 	pool := par.New(opts.Threads)
 	defer pool.Close()
 	wss := mat.NewWorkspaceSet(pool.Threads())
-	task := &modeRowsTask{x: x, factors: factors, lambda: opts.Lambda, rank: r, wss: wss}
+	task := &modeRowsTask{factors: factors, lambda: opts.Lambda, rank: r, wss: wss}
 	res := &Result{Factors: factors, RMSETrace: make([]float64, 0, opts.MaxIters)}
 	prev := math.Inf(1)
 	tmp := make([]float64, r)
 	for it := 0; it < opts.MaxIters; it++ {
 		for m := 0; m < n; m++ {
-			task.view, task.mode = views[m], m
-			pool.ForChunks(views[m].ChunkStarts(pool.Threads()), task)
+			task.kernel, task.mode = kernels[m], m
+			pool.ForChunks(kernels[m].ChunkStarts(pool.Threads()), task)
 		}
 		res.Iters = it + 1
 		res.RMSE = rmseScratch(x, factors, tmp)
@@ -163,11 +170,10 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 }
 
 // modeRowsTask is the par.Body for one mode's sweep: row groups
-// [g0, g1) of the view, each solved with scratch checked out from the
-// running thread's workspace.
+// [g0, g1) of the kernel, each solved with scratch checked out from
+// the running thread's workspace.
 type modeRowsTask struct {
-	x       *tensor.Tensor
-	view    *mttkrp.ModeView
+	kernel  mttkrp.Kernel
 	factors []*mat.Dense
 	mode    int
 	lambda  float64
@@ -182,22 +188,26 @@ func (t *modeRowsTask) RunChunk(g0, g1, tid int) {
 	sys := ws.Take(t.rank, t.rank)
 	rhs := ws.Take(t.rank, 1)
 	sol := ws.Take(t.rank, 1)
-	updateModeGroups(t.x, t.view, t.factors, t.mode, t.lambda, g0, g1, h, sys, rhs, sol, ws)
+	solveGroups(t.kernel, t.factors, t.mode, t.lambda, g0, g1, h, sys, rhs, sol, ws)
 	ws.Release(mark)
 }
 
-// updateModeGroups solves the per-row regularised normal equations for
-// the view's row groups [g0, g1). h, sys, rhs, sol are scratch buffers
-// sized R, RxR, Rx1, Rx1; ws supplies the solver scratch.
-func updateModeGroups(x *tensor.Tensor, view *mttkrp.ModeView, factors []*mat.Dense, mode int, lambda float64, g0, g1 int, h []float64, sys, rhs, sol *mat.Dense, ws *mat.Workspace) {
-	n := x.Order()
+// solveGroups solves the per-row regularised normal equations for the
+// kernel's row groups [g0, g1), reading observations through the
+// Kernel interface so both representations (and both the centralized
+// and distributed drivers) share one solver. h, sys, rhs, sol are
+// scratch buffers sized R, RxR, Rx1, Rx1; ws supplies the solver
+// scratch. Each group's observations are visited in position order —
+// the stable order both kernels preserve — so the fit is bitwise
+// identical across representations and thread counts.
+func solveGroups(kern mttkrp.Kernel, factors []*mat.Dense, mode int, lambda float64, g0, g1 int, h []float64, sys, rhs, sol *mat.Dense, ws *mat.Workspace) {
+	n := len(factors)
 	r := len(h)
 	for g := g0; g < g1; g++ {
 		sys.Zero()
 		rhs.Zero()
-		for p := view.Starts[g]; p < view.Starts[g+1]; p++ {
-			e := int(view.EntryOrder[p])
-			base := e * n
+		p0, p1 := kern.GroupRange(g)
+		for p := p0; p < p1; p++ {
 			for c := range h {
 				h[c] = 1
 			}
@@ -205,12 +215,12 @@ func updateModeGroups(x *tensor.Tensor, view *mttkrp.ModeView, factors []*mat.De
 				if k == mode {
 					continue
 				}
-				row := factors[k].Row(int(x.Coords[base+k]))
+				row := factors[k].Row(int(kern.EntryCoord(p, k)))
 				for c := range h {
 					h[c] *= row[c]
 				}
 			}
-			v := x.Vals[e]
+			v := kern.EntryVal(p)
 			for i, hi := range h {
 				if hi == 0 {
 					continue
@@ -238,10 +248,11 @@ func updateModeGroups(x *tensor.Tensor, view *mttkrp.ModeView, factors []*mat.De
 			mat.TransposeInto(sol, rt)
 			ws.Release(mark)
 		}
-		copy(factors[mode].Row(int(view.Rows[g])), sol.Data)
+		copy(factors[mode].Row(int(kern.GroupRow(g))), sol.Data)
 	}
-	// Rows with no observations keep their current values, pinned only
-	// by the regulariser's pull in subsequent predictions.
+	// Rows with no observations have no group and keep their current
+	// values, pinned only by the regulariser's pull in subsequent
+	// predictions.
 }
 
 // RMSE returns the root mean squared prediction error over x's

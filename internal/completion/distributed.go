@@ -8,6 +8,7 @@ import (
 	"dismastd/internal/cluster"
 	"dismastd/internal/dplan"
 	"dismastd/internal/mat"
+	"dismastd/internal/mttkrp"
 	"dismastd/internal/par"
 	"dismastd/internal/partition"
 	"dismastd/internal/tensor"
@@ -98,15 +99,15 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 	}
 
 	// Group this worker's per-mode entries by row once; the pattern is
-	// fixed across sweeps. Entry order inside a row stays ascending, so
-	// the accumulation matches the centralized ModeView exactly.
-	rowEntries := make([]map[int32][]int32, n)
+	// fixed across sweeps, so the kernel is compiled once and amortised
+	// over them. Entry order inside a row stays ascending (the mode
+	// sort is stable over the ascending entry list), so the
+	// accumulation matches the centralized kernel exactly. Every entry
+	// in a rank's mode-m list lies in a mode-m slice the rank owns, so
+	// the kernel's groups are exactly the rank's observed owned rows.
+	kernels := make([]mttkrp.Kernel, n)
 	for m := 0; m < n; m++ {
-		rowEntries[m] = make(map[int32][]int32)
-		for _, e := range j.plan.EntryLists[me][m] {
-			row := x.Coords[int(e)*n+m]
-			rowEntries[m][row] = append(rowEntries[m][row], e)
-		}
+		kernels[m] = mttkrp.NewKernelOf(x, m, j.plan.EntryLists[me][m], j.opts.Layout)
 	}
 
 	// Per-worker sweep scratch, allocated once. Each worker runs its
@@ -116,15 +117,14 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 	pool := par.New(j.opts.Threads)
 	defer pool.Close()
 	wss := mat.NewWorkspaceSet(pool.Threads())
-	rt := &distRowsTask{j: j, x: x, full: full, rowEntries: rowEntries, wss: wss, rank: r}
+	rt := &distRowsTask{j: j, full: full, wss: wss, rank: r}
 	// Per-mode work is fixed across sweeps; tally it once so the
 	// parallel chunks stay free of shared counters.
 	workPerMode := make([]float64, n)
 	for m := 0; m < n; m++ {
-		for _, row := range j.plan.OwnedSlices[m][me] {
-			if cnt := len(rowEntries[m][row]); cnt > 0 {
-				workPerMode[m] += float64(cnt)*float64(n+r)*float64(r) + float64(r*r*r)
-			}
+		for g := 0; g < kernels[m].NumRows(); g++ {
+			p0, p1 := kernels[m].GroupRange(g)
+			workPerMode[m] += float64(p1-p0)*float64(n+r)*float64(r) + float64(r*r*r)
 		}
 	}
 	exch := dplan.NewExchanger(w, j.plan)
@@ -134,8 +134,8 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 	iters := 0
 	for sweep := 0; sweep < j.opts.MaxIters; sweep++ {
 		for m := 0; m < n; m++ {
-			rt.mode, rt.owned = m, j.plan.OwnedSlices[m][me]
-			pool.For(len(rt.owned), rt)
+			rt.mode, rt.kernel = m, kernels[m]
+			pool.ForChunks(kernels[m].ChunkStarts(pool.Threads()), rt)
 			w.AddWork(workPerMode[m])
 			if err := exch.Exchange(m, full[m], false); err != nil {
 				return err
@@ -229,83 +229,24 @@ func (j *distJob) runWorker(w *cluster.Worker) error {
 }
 
 // distRowsTask is the par.Body for a worker's owned-row sweep of one
-// mode: indices [lo, hi) of the owned-slice list, each row solved with
-// scratch from the running thread's workspace.
+// mode: kernel row groups [g0, g1), each solved with scratch from the
+// running thread's workspace via the shared solveGroups solver.
 type distRowsTask struct {
-	j          *distJob
-	x          *tensor.Tensor
-	full       []*mat.Dense
-	rowEntries []map[int32][]int32
-	wss        *mat.WorkspaceSet
-	rank       int
-	mode       int
-	owned      []int32
+	j      *distJob
+	full   []*mat.Dense
+	kernel mttkrp.Kernel
+	wss    *mat.WorkspaceSet
+	rank   int
+	mode   int
 }
 
-func (t *distRowsTask) RunChunk(lo, hi, tid int) {
+func (t *distRowsTask) RunChunk(g0, g1, tid int) {
 	ws := t.wss.At(tid)
 	mark := ws.Mark()
 	h := ws.TakeVec(t.rank)
 	sys := ws.Take(t.rank, t.rank)
 	rhs := ws.Take(t.rank, 1)
 	sol := ws.Take(t.rank, 1)
-	for i := lo; i < hi; i++ {
-		row := t.owned[i]
-		entries := t.rowEntries[t.mode][row]
-		if len(entries) == 0 {
-			continue // unobserved row keeps its value, as centralized does
-		}
-		t.j.solveRow(t.x, t.full, t.mode, int(row), entries, h, sys, rhs, sol, ws)
-	}
+	solveGroups(t.kernel, t.full, t.mode, t.j.opts.Lambda, g0, g1, h, sys, rhs, sol, ws)
 	ws.Release(mark)
-}
-
-// solveRow builds and solves one row's regularised normal system from
-// its observations — identical math to updateModeGroups.
-func (j *distJob) solveRow(x *tensor.Tensor, full []*mat.Dense, mode, row int, entries []int32, h []float64, sys, rhs, sol *mat.Dense, ws *mat.Workspace) {
-	n := x.Order()
-	r := len(h)
-	sys.Zero()
-	rhs.Zero()
-	for _, e := range entries {
-		base := int(e) * n
-		for c := range h {
-			h[c] = 1
-		}
-		for k := 0; k < n; k++ {
-			if k == mode {
-				continue
-			}
-			rowv := full[k].Row(int(x.Coords[base+k]))
-			for c := range h {
-				h[c] *= rowv[c]
-			}
-		}
-		v := x.Vals[e]
-		for i, hi := range h {
-			if hi == 0 {
-				continue
-			}
-			srow := sys.Row(i)
-			for jj, hj := range h {
-				srow[jj] += hi * hj
-			}
-			rhs.Data[i] += v * hi
-		}
-	}
-	for i := 0; i < r; i++ {
-		sys.Set(i, i, sys.At(i, i)+j.opts.Lambda)
-	}
-	if err := mat.SolveSPDInto(sol, sys, rhs, ws); err != nil {
-		for i := 0; i < r; i++ {
-			sys.Set(i, i, sys.At(i, i)+1e-6+j.opts.Lambda*10)
-		}
-		mark := ws.Mark()
-		rt := ws.Take(1, r)
-		mat.TransposeInto(rt, rhs)
-		mat.SolveRightRidgeInto(rt, rt, sys, ws)
-		mat.TransposeInto(sol, rt)
-		ws.Release(mark)
-	}
-	copy(full[mode].Row(row), sol.Data)
 }

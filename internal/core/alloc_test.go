@@ -6,6 +6,7 @@ import (
 
 	"dismastd/internal/cluster"
 	"dismastd/internal/dtd"
+	"dismastd/internal/layout"
 	"dismastd/internal/partition"
 )
 
@@ -99,22 +100,25 @@ func TestDistributedSweepAllocFree(t *testing.T) {
 		name       string
 		threads    int
 		ringThresh int
+		layout     layout.Kind
 	}{
-		{"tree/threads=1", 1, 0}, // default threshold keeps the 3R² batch on the tree
-		{"tree/threads=4", 4, 0},
-		{"ring/threads=1", 1, 8}, // force the Gram batch onto the ring path
+		{"tree/threads=1", 1, 0, layout.COO}, // default threshold keeps the 3R² batch on the tree
+		{"tree/threads=4", 4, 0, layout.COO},
+		{"ring/threads=1", 1, 8, layout.COO}, // force the Gram batch onto the ring path
+		{"compiled/threads=1", 1, 0, layout.Compiled},
+		{"compiled/threads=4", 4, 0, layout.Compiled},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			testDistributedSweepAllocFree(t, tc.threads, tc.ringThresh)
+			testDistributedSweepAllocFree(t, tc.threads, tc.ringThresh, tc.layout)
 		})
 	}
 }
 
-func testDistributedSweepAllocFree(t *testing.T, threads, ringThresh int) {
+func testDistributedSweepAllocFree(t *testing.T, threads, ringThresh int, kind layout.Kind) {
 	const workers = 3 // odd: exercises the uneven tree and ring segment split
 	full := sparseRandom([]int{12, 10, 8}, 600, 5)
 	prevSnap := full.Prefix([]int{9, 8, 6})
-	opts := Options{Rank: 3, MaxIters: 5, Mu: 0.7, Seed: 11, Workers: workers, Threads: threads, Method: partition.GTPMethod}
+	opts := Options{Rank: 3, MaxIters: 5, Mu: 0.7, Seed: 11, Workers: workers, Threads: threads, Layout: kind, Method: partition.GTPMethod}
 	prev, _, err := dtd.Init(prevSnap, dtd.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Mu: opts.Mu, Seed: opts.Seed})
 	if err != nil {
 		t.Fatal(err)

@@ -31,6 +31,7 @@ import (
 	"dismastd/internal/cluster"
 	"dismastd/internal/dplan"
 	"dismastd/internal/dtd"
+	"dismastd/internal/layout"
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
 	"dismastd/internal/obs"
@@ -57,6 +58,13 @@ type Options struct {
 	// 0 or 1 means sequential. Results are bitwise identical at every
 	// value (see internal/par).
 	Threads int
+
+	// Layout selects the kernel representation each rank sweeps on (see
+	// internal/layout): COO (default) or Compiled, which compiles the
+	// rank's slice of the complement once per step, cached per entry
+	// list — an elastic re-partition hands ranks new entry lists and so
+	// recompiles. Factors are bitwise identical under either.
+	Layout layout.Kind
 
 	// BroadcastRows replaces the subscription-based row exchange with a
 	// full broadcast of every owner's rows (ablation baseline).
@@ -207,9 +215,18 @@ func NewStepJob(prev *dtd.State, snapshot *tensor.Tensor, o Options) (*StepJob, 
 		tilde:   prev.Factors,
 		init:    initialFactors(prev, snapshot.Dims, opts),
 		algo:    make([]cluster.Metrics, opts.Workers),
+		caches:  newCaches(opts.Workers),
 	}
 	job.precompute()
 	return job, nil
+}
+
+func newCaches(workers int) []*layout.Cache {
+	caches := make([]*layout.Cache, workers)
+	for i := range caches {
+		caches[i] = &layout.Cache{}
+	}
+	return caches
 }
 
 // Workers returns the cluster size the job was planned for.
@@ -281,6 +298,14 @@ type StepJob struct {
 	cTilde     float64
 	compNormSq float64
 
+	// caches holds one layout cache per rank (index = rank), created up
+	// front so concurrent RunWorker calls never share mutable state.
+	// Each rank's compiled kernels are memoised here keyed by the
+	// identity of its entry lists: rebinding a worker state to the same
+	// plan reuses every layout, while an elastic re-partition (new plan,
+	// new entry lists) invalidates and recompiles.
+	caches []*layout.Cache
+
 	mu        sync.Mutex
 	result    []*mat.Dense
 	iters     int
@@ -328,14 +353,14 @@ type workerState struct {
 
 	// Intra-worker parallel runtime: this rank's pool (nil when
 	// Threads <= 1), its per-thread workspaces, the pooled kernels,
-	// the row-grouped views of this rank's entry lists, and the
+	// the grouped kernels of this rank's entry lists, and the
 	// persistent Gram-partials task. Closed by close().
-	pool   *par.Pool
-	wss    *mat.WorkspaceSet
-	pk     *mat.ParKernels
-	pacc   *mttkrp.ParAccumulator
-	views  []*mttkrp.ModeView
-	gpTask gramPartialsTask
+	pool    *par.Pool
+	wss     *mat.WorkspaceSet
+	pk      *mat.ParKernels
+	pacc    *mttkrp.ParAccumulator
+	kernels []mttkrp.Kernel
+	gpTask  gramPartialsTask
 
 	d0, d1 *mat.Dense // Eq. (5) denominators
 	g0prod *mat.Dense // ∗_{k≠n} g0
@@ -400,9 +425,9 @@ func newWorkerStateFactors(j *StepJob, w *cluster.Worker, warm []*mat.Dense) *wo
 	st.wss = mat.NewWorkspaceSet(st.pool.Threads())
 	st.pk = mat.NewParKernels(st.pool, st.wss)
 	st.pacc = mttkrp.NewParAccumulator(st.pool, st.wss, w.Obs())
-	st.views = make([]*mttkrp.ModeView, n)
+	st.kernels = make([]mttkrp.Kernel, n)
 	for m := 0; m < n; m++ {
-		st.views[m] = mttkrp.NewModeViewOf(j.plan.Tensor, m, j.plan.EntryLists[w.Rank()][m])
+		st.kernels[m] = mttkrp.CachedKernelOf(j.caches[w.Rank()], j.plan.Tensor, m, j.plan.EntryLists[w.Rank()][m], j.opts.Layout)
 	}
 	st.full = make([]*mat.Dense, n)
 	st.mbuf = make([]*mat.Dense, n)
@@ -569,8 +594,8 @@ func (st *workerState) mttkrpMode(mode int) {
 	M := st.mbuf[mode]
 	M.Zero()
 	comp := j.plan.Tensor
-	st.pacc.Accumulate(M, st.views[mode], comp, st.full, st.names[mode].chunk)
-	nnz := st.views[mode].NNZ()
+	st.pacc.Accumulate(M, st.kernels[mode], st.full, st.names[mode].chunk)
+	nnz := st.kernels[mode].NNZ()
 	st.w.AddWork(float64(nnz) * float64(comp.Order()) * float64(M.Cols))
 	st.cMttkrp.Add(int64(nnz))
 	st.lastM = M

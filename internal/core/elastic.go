@@ -536,6 +536,7 @@ func (j *StepJob) withPlan(plan *dplan.Plan, workers int) *StepJob {
 		cTilde:     j.cTilde,
 		compNormSq: j.compNormSq,
 		algo:       make([]cluster.Metrics, workers),
+		caches:     newCaches(workers),
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"dismastd/internal/layout"
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
 	"dismastd/internal/obs"
@@ -37,6 +38,12 @@ type Options struct {
 	// 0 or 1 means sequential. Results are bitwise identical at every
 	// value (see internal/par).
 	Threads int
+
+	// Layout selects the kernel representation the sweeps run on:
+	// layout.COO (default) walks the coordinate arrays, layout.Compiled
+	// compiles the tensor once per run into fiber-grouped layouts.
+	// Factors are bitwise identical under either.
+	Layout layout.Kind
 
 	// Obs receives the run's phase spans (modeN/mttkrp, modeN/solve,
 	// modeN/gram, loss, and per-chunk modeN/mttkrp.chunk spans when
@@ -138,10 +145,10 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 	for m := range factors {
 		grams[m] = mat.Gram(factors[m])
 	}
-	views := make([]*mttkrp.ModeView, n)
+	kernels := make([]mttkrp.Kernel, n)
 	mbuf := make([]*mat.Dense, n)
 	for m := 0; m < n; m++ {
-		views[m] = mttkrp.NewModeView(x, m)
+		kernels[m] = mttkrp.NewKernel(x, m, opts.Layout)
 		mbuf[m] = mat.New(x.Dims[m], opts.Rank)
 	}
 	denom := mat.New(opts.Rank, opts.Rank)
@@ -167,7 +174,7 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 			sp := opts.Obs.Span(names[m].mttkrp)
 			M := mbuf[m]
 			M.Zero()
-			pacc.Accumulate(M, views[m], x, factors, names[m].chunk)
+			pacc.Accumulate(M, kernels[m], factors, names[m].chunk)
 			cRows.Add(int64(x.NNZ()))
 			sp.End()
 			sp = opts.Obs.Span(names[m].solve)

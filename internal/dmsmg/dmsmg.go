@@ -20,6 +20,7 @@ import (
 
 	"dismastd/internal/cluster"
 	"dismastd/internal/dplan"
+	"dismastd/internal/layout"
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
 	"dismastd/internal/par"
@@ -43,6 +44,11 @@ type Options struct {
 	// 0 or 1 means sequential; results are bitwise identical at every
 	// value.
 	Threads int
+
+	// Layout selects the kernel representation (see internal/layout):
+	// COO (default) or Compiled. Factors are bitwise identical under
+	// either.
+	Layout layout.Kind
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -171,9 +177,9 @@ func (j *job) runWorker(w *cluster.Worker) error {
 	wss := mat.NewWorkspaceSet(pool.Threads())
 	pk := mat.NewParKernels(pool, wss)
 	pacc := mttkrp.NewParAccumulator(pool, wss, nil)
-	views := make([]*mttkrp.ModeView, n)
+	kernels := make([]mttkrp.Kernel, n)
 	for m := 0; m < n; m++ {
-		views[m] = mttkrp.NewModeViewOf(x, m, j.plan.EntryLists[w.Rank()][m])
+		kernels[m] = mttkrp.NewKernelOf(x, m, j.plan.EntryLists[w.Rank()][m], j.opts.Layout)
 	}
 	gt := &gramRowsTask{j: j, w: w}
 	ws := mat.NewWorkspace()
@@ -208,7 +214,7 @@ func (j *job) runWorker(w *cluster.Worker) error {
 		for m := 0; m < n; m++ {
 			M := mbuf[m]
 			M.Zero()
-			j.localMTTKRP(w, pacc, views[m], M, m, full)
+			j.localMTTKRP(w, pacc, kernels[m], M, full)
 
 			hadamardExceptInto(denom, grams, m)
 			j.updateOwnedRows(w, pk, m, full[m], M, denom, ws)
@@ -271,13 +277,14 @@ func (j *job) runWorker(w *cluster.Worker) error {
 }
 
 // localMTTKRP accumulates this worker's entry subset into M via the
-// row-grouped parallel kernel. The view groups the rank's entry list by
-// output row, so chunks never share a destination row and the result is
-// bitwise identical to the flat scatter at every thread count.
-func (j *job) localMTTKRP(w *cluster.Worker, pacc *mttkrp.ParAccumulator, view *mttkrp.ModeView, M *mat.Dense, mode int, full []*mat.Dense) {
+// row-grouped parallel kernel. The kernel groups the rank's entry list
+// by output row, so chunks never share a destination row and the
+// result is bitwise identical to the flat scatter at every thread
+// count.
+func (j *job) localMTTKRP(w *cluster.Worker, pacc *mttkrp.ParAccumulator, k mttkrp.Kernel, M *mat.Dense, full []*mat.Dense) {
 	x := j.plan.Tensor
-	pacc.Accumulate(M, view, x, full, "")
-	w.AddWork(float64(view.NNZ()) * float64(x.Order()) * float64(M.Cols))
+	pacc.Accumulate(M, k, full, "")
+	w.AddWork(float64(k.NNZ()) * float64(x.Order()) * float64(M.Cols))
 }
 
 func (j *job) updateOwnedRows(w *cluster.Worker, pk *mat.ParKernels, mode int, factor, M, denom *mat.Dense, ws *mat.Workspace) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"dismastd/internal/layout"
 	"dismastd/internal/mat"
 	"dismastd/internal/obs"
 	"dismastd/internal/par"
@@ -19,41 +20,43 @@ import (
 // with a live pool (threads > 1), where chunks draw scratch from
 // per-thread workspaces.
 func TestIterationAllocFree(t *testing.T) {
-	for _, threads := range []int{1, 4} {
-		t.Run(fmt.Sprintf("threads=%d", threads), func(t *testing.T) {
-			full := sparseRandom([]int{12, 10, 8}, 600, 5)
-			prevSnap := full.Prefix([]int{9, 8, 6})
-			opts := Options{Rank: 3, MaxIters: 5, Mu: 0.7, Seed: 11, Threads: threads, Obs: obs.New()}
-			prev, _, err := Init(prevSnap, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			opts, err = opts.withDefaults()
-			if err != nil {
-				t.Fatal(err)
-			}
-
-			comp := full.Complement(prev.Dims)
-			src := xrand.New(opts.Seed)
-			stacked := make([]*mat.Dense, full.Order())
-			for m := 0; m < full.Order(); m++ {
-				growth := mat.RandomUniform(full.Dims[m]-prev.Dims[m], opts.Rank, src)
-				stacked[m] = mat.StackRows(prev.Factors[m], growth)
-			}
-			pool := par.New(opts.Threads)
-			defer pool.Close()
-			it := newIteration(prev, comp, stacked, prev.Dims, opts, pool)
-
-			pass := func() {
-				it.sweep()
-				if it.loss() < 0 {
-					t.Fatal("negative loss")
+	for _, kind := range []layout.Kind{layout.COO, layout.Compiled} {
+		for _, threads := range []int{1, 4} {
+			t.Run(fmt.Sprintf("layout=%s/threads=%d", kind, threads), func(t *testing.T) {
+				full := sparseRandom([]int{12, 10, 8}, 600, 5)
+				prevSnap := full.Prefix([]int{9, 8, 6})
+				opts := Options{Rank: 3, MaxIters: 5, Mu: 0.7, Seed: 11, Threads: threads, Layout: kind, Obs: obs.New()}
+				prev, _, err := Init(prevSnap, opts)
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-			pass() // warm-up: workspace slabs grow to their running maximum
-			if allocs := testing.AllocsPerRun(10, pass); allocs != 0 {
-				t.Fatalf("steady-state DTD iteration allocates %v times per sweep, want 0", allocs)
-			}
-		})
+				opts, err = opts.withDefaults()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				comp := full.Complement(prev.Dims)
+				src := xrand.New(opts.Seed)
+				stacked := make([]*mat.Dense, full.Order())
+				for m := 0; m < full.Order(); m++ {
+					growth := mat.RandomUniform(full.Dims[m]-prev.Dims[m], opts.Rank, src)
+					stacked[m] = mat.StackRows(prev.Factors[m], growth)
+				}
+				pool := par.New(opts.Threads)
+				defer pool.Close()
+				it := newIteration(prev, comp, stacked, prev.Dims, opts, pool)
+
+				pass := func() {
+					it.sweep()
+					if it.loss() < 0 {
+						t.Fatal("negative loss")
+					}
+				}
+				pass() // warm-up: workspace slabs grow to their running maximum
+				if allocs := testing.AllocsPerRun(10, pass); allocs != 0 {
+					t.Fatalf("steady-state DTD iteration allocates %v times per sweep, want 0", allocs)
+				}
+			})
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"dismastd/internal/cp"
+	"dismastd/internal/layout"
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
 	"dismastd/internal/obs"
@@ -43,6 +44,12 @@ type Options struct {
 	// 0 or 1 means sequential. Results are bitwise identical at every
 	// value (see internal/par).
 	Threads int
+
+	// Layout selects the kernel representation (see internal/layout):
+	// COO (default) or Compiled, which compiles each step's complement
+	// once and amortises it over the step's sweeps. Factors are bitwise
+	// identical under either.
+	Layout layout.Kind
 
 	// Obs receives the step's phase spans and counters. May be nil; all
 	// handles are nil-safe, so instrumentation costs nothing when unset.
@@ -117,7 +124,7 @@ func Init(x *tensor.Tensor, o Options) (*State, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := cp.Decompose(x, cp.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Seed: opts.Seed, Threads: opts.Threads, Obs: opts.Obs})
+	res, err := cp.Decompose(x, cp.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Seed: opts.Seed, Threads: opts.Threads, Layout: opts.Layout, Obs: opts.Obs})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -201,7 +208,7 @@ func relChange(prev, cur float64) float64 {
 }
 
 // iteration holds the per-step working set: the complement tensor and
-// its mode views, the stacked factors, the cached Gram blocks the
+// its compiled-once mode kernels, the stacked factors, the cached Gram blocks the
 // update rules and the loss both reuse (the paper's "maintain and reuse
 // the intermediate results"), and every scratch buffer the sweep needs.
 // All buffers are sized once in newIteration, so a steady-state sweep —
@@ -212,7 +219,7 @@ type iteration struct {
 	tilde   []*mat.Dense // previous snapshot factors Ã_n (read-only)
 	full    []*mat.Dense // current stacked factors, updated in place
 	comp    *tensor.Tensor
-	views   []*mttkrp.ModeView
+	kernels []mttkrp.Kernel
 
 	gram0 []*mat.Dense // A_n^(0)ᵀ A_n^(0), refreshed in place
 	gram1 []*mat.Dense // A_n^(1)ᵀ A_n^(1), refreshed in place
@@ -271,7 +278,7 @@ func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims [
 	gramsTilde := make([]*mat.Dense, n)
 	for m := 0; m < n; m++ {
 		gramsTilde[m] = mat.Gram(prev.Factors[m])
-		it.views = append(it.views, mttkrp.NewModeView(comp, m))
+		it.kernels = append(it.kernels, mttkrp.NewKernel(comp, m, opts.Layout))
 	}
 	it.cTilde = mat.SumAll(mat.HadamardAll(gramsTilde...))
 	it.gram0 = make([]*mat.Dense, n)
@@ -359,7 +366,7 @@ func (it *iteration) sweep() {
 		sp := it.obs.Span(it.names[m].mttkrp)
 		M := it.mbuf[m]
 		M.Zero()
-		it.pacc.Accumulate(M, it.views[m], it.comp, it.full, it.names[m].chunk)
+		it.pacc.Accumulate(M, it.kernels[m], it.full, it.names[m].chunk)
 		it.cMttkrp.Add(int64(it.comp.NNZ()))
 		sp.End()
 

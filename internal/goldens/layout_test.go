@@ -1,0 +1,130 @@
+package goldens
+
+import (
+	"fmt"
+	"testing"
+
+	"dismastd/internal/completion"
+	"dismastd/internal/core"
+	"dismastd/internal/cp"
+	"dismastd/internal/dmsmg"
+	"dismastd/internal/dtd"
+	"dismastd/internal/layout"
+	"dismastd/internal/onlinecp"
+	"dismastd/internal/partition"
+)
+
+// layoutSweep is the acceptance sweep of the kernel-representation
+// layer: every engine must reproduce its sequential COO golden hash
+// under both representations at every thread count, because a compiled
+// layout only reorganises memory — the per-entry floating-point
+// sequence it executes is exactly the COO walk's.
+var layoutSweep = []layout.Kind{layout.COO, layout.Compiled}
+
+func sweepLayouts(t *testing.T, run func(t *testing.T, kind layout.Kind, threads int)) {
+	t.Helper()
+	for _, kind := range layoutSweep {
+		for _, threads := range threadSweep {
+			t.Run(fmt.Sprintf("layout=%s/threads=%d", kind, threads), func(t *testing.T) {
+				run(t, kind, threads)
+			})
+		}
+	}
+}
+
+func TestCPGoldenEveryLayout(t *testing.T) {
+	sweepLayouts(t, func(t *testing.T, kind layout.Kind, threads int) {
+		x := sparseRandom([]int{12, 10, 8}, 500, 3)
+		res, err := cp.Decompose(x, cp.Options{Rank: 4, MaxIters: 6, Seed: 7, Threads: threads, Layout: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkHash(t, "cp", hashFactors(res.Factors), goldCP)
+	})
+}
+
+func TestDTDGoldenEveryLayout(t *testing.T) {
+	sweepLayouts(t, func(t *testing.T, kind layout.Kind, threads int) {
+		prev, full, opts := dtdFixture(t)
+		opts.Threads = threads
+		opts.Layout = kind
+		cur, _, err := dtd.Step(prev, full, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkHash(t, "dtd", hashFactors(cur.Factors), goldDTD)
+	})
+}
+
+func TestCoreGoldenEveryLayout(t *testing.T) {
+	sweepLayouts(t, func(t *testing.T, kind layout.Kind, threads int) {
+		prev, full, opts := dtdFixture(t)
+		for _, tc := range []struct {
+			name   string
+			method partition.Method
+			want   uint64
+		}{
+			{"gtp", partition.GTPMethod, goldCoreGTP},
+			{"mtp", partition.MTPMethod, goldCoreMTP},
+		} {
+			cur, _, err := core.Step(prev, full, core.Options{
+				Rank: opts.Rank, MaxIters: opts.MaxIters, Mu: opts.Mu, Seed: opts.Seed,
+				Workers: 3, Method: tc.method, Threads: threads, Layout: kind,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkHash(t, "core/"+tc.name, hashFactors(cur.Factors), tc.want)
+		}
+	})
+}
+
+func TestDMSMGGoldenEveryLayout(t *testing.T) {
+	sweepLayouts(t, func(t *testing.T, kind layout.Kind, threads int) {
+		x := sparseRandom([]int{12, 10, 8}, 500, 3)
+		factors, _, err := dmsmg.Decompose(x, dmsmg.Options{Rank: 3, MaxIters: 5, Seed: 7, Workers: 3, Threads: threads, Layout: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkHash(t, "dmsmg", hashFactors(factors), goldDMSMG)
+	})
+}
+
+func TestCompletionGoldenEveryLayout(t *testing.T) {
+	sweepLayouts(t, func(t *testing.T, kind layout.Kind, threads int) {
+		x := sparseRandom([]int{12, 10, 8}, 400, 13)
+		res, err := completion.Decompose(x, completion.Options{Rank: 3, MaxIters: 5, Seed: 7, Threads: threads, Layout: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkHash(t, "completion", hashFactors(res.Factors), goldCompletion)
+
+		dres, err := completion.DecomposeDistributed(x, completion.DistributedOptions{
+			Options: completion.Options{Rank: 3, MaxIters: 5, Seed: 7, Threads: threads, Layout: kind},
+			Workers: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkHash(t, "completion/distributed", hashFactors(dres.Factors), goldCompletionDist)
+	})
+}
+
+func TestOnlineCPGoldenEveryLayout(t *testing.T) {
+	sweepLayouts(t, func(t *testing.T, kind layout.Kind, threads int) {
+		full := sparseRandom([]int{10, 9, 12}, 700, 17)
+		init := full.Prefix([]int{10, 9, 6})
+		tr, err := onlinecp.Init(init, onlinecp.Options{Rank: 3, StreamMode: 2, InitIters: 5, Seed: 7, Threads: threads, Layout: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		for _, to := range []int{9, 12} {
+			batch := batchBetween(full, tr.Dims(), to)
+			if err := tr.Absorb(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkHash(t, "onlinecp", hashFactors(tr.Factors()), goldOnlineCP)
+	})
+}

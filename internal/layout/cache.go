@@ -1,0 +1,65 @@
+package layout
+
+import "dismastd/internal/tensor"
+
+// Cache memoises compiled layouts for one snapshot region. The key is
+// the identity of the region — the tensor pointer plus the identity of
+// the per-mode entry list — so invalidation needs no bookkeeping from
+// callers: a stream advance replaces the complement tensor and an
+// elastic migration replaces a rank's entry lists, and either key
+// change makes the next Get recompile. Entry lists are compared by
+// slice identity (base pointer and length), not contents; callers must
+// hand the same slice for the same region, which the planners do.
+//
+// A Cache is owned by one driving goroutine (one rank, one stream) and
+// is not safe for concurrent use.
+type Cache struct {
+	t        *tensor.Tensor
+	keys     []cacheKey
+	layouts  []*ModeLayout
+	compiles int
+}
+
+type cacheKey struct {
+	mode    int
+	entries []int32
+}
+
+func sameEntries(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// Get returns the compiled layout for (t, mode, entries), compiling on
+// the first request and after any invalidation. A t different from the
+// cache's current tensor drops every cached layout first — the region
+// itself changed.
+func (c *Cache) Get(t *tensor.Tensor, mode int, entries []int32) *ModeLayout {
+	if c.t != t {
+		c.Invalidate()
+		c.t = t
+	}
+	for i, k := range c.keys {
+		if k.mode == mode && sameEntries(k.entries, entries) {
+			return c.layouts[i]
+		}
+	}
+	l := Compile(t, mode, entries)
+	c.keys = append(c.keys, cacheKey{mode: mode, entries: entries})
+	c.layouts = append(c.layouts, l)
+	c.compiles++
+	return l
+}
+
+// Invalidate drops every cached layout. The next Get recompiles.
+func (c *Cache) Invalidate() {
+	c.t = nil
+	c.keys = c.keys[:0]
+	c.layouts = c.layouts[:0]
+}
+
+// Compiles reports how many layouts the cache has compiled over its
+// lifetime (cache misses), for tests and instrumentation.
+func (c *Cache) Compiles() int { return c.compiles }

@@ -1,0 +1,54 @@
+// Package layout is the kernel-representation layer between
+// internal/tensor (COO) and internal/mttkrp: it compiles a snapshot
+// region once into a mode-sorted, fiber-grouped structure a sweep
+// kernel can walk with unit-stride loads, instead of chasing the COO
+// arrays through an entry-order indirection every iteration.
+//
+// A compiled ModeLayout holds, per mode, the region's values and all
+// coordinate arrays permuted into mode-sorted order (the value
+// permutation), the non-empty output rows with their position ranges,
+// and fiber pointers — maximal runs of entries that share both the
+// output row and the lead (smallest non-target) mode's coordinate — so
+// the kernel hoists one factor-row pointer per fiber. Compilation is
+// paid once per region and amortised over every sweep of a snapshot;
+// the structure never feeds floating-point order, so the compiled
+// kernel reproduces the COO walk bit for bit (see the determinism note
+// on ModeLayout.AccumulateGroups).
+package layout
+
+import "fmt"
+
+// Kind selects a kernel representation for MTTKRP and row-wise sweeps.
+type Kind int
+
+const (
+	// COO walks the tensor's coordinate arrays through a row-grouped
+	// entry-order indirection (the default, internal/mttkrp.ModeView).
+	COO Kind = iota
+	// Compiled walks a ModeLayout: permuted, fiber-grouped copies of
+	// the region compiled once per snapshot.
+	Compiled
+)
+
+// String returns the flag spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case COO:
+		return "coo"
+	case Compiled:
+		return "compiled"
+	}
+	return fmt.Sprintf("layout.Kind(%d)", int(k))
+}
+
+// ParseKind parses a -layout flag value. The empty string is the
+// default COO representation.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "coo":
+		return COO, nil
+	case "compiled":
+		return Compiled, nil
+	}
+	return COO, fmt.Errorf("layout: unknown layout %q (want coo or compiled)", s)
+}

@@ -7,16 +7,23 @@
 // Only non-zero tensor entries contribute, and each entry touches one
 // row per factor — the two properties the paper's partitioning exploits.
 //
-// Two kernels are provided: a flat kernel that scatters each entry's
-// contribution straight into the output, and a row-grouped kernel that
-// first orders entries by their mode-n index (a ModeView) so each
-// output row is accumulated locally before a single write-back. The
+// The sweep engines run against the Kernel interface (kernel.go), a
+// pluggable representation of one mode of a region with two
+// implementations: ModeView, the row-grouped COO walk that orders
+// entries by their mode-n index so each output row is accumulated
+// locally before a single write-back, and internal/layout.ModeLayout,
+// a compiled fiber-grouped copy of the region with unit-stride loads.
+// A flat kernel that scatters each entry straight into the output also
+// remains (AccumulateInto), both as the reference the grouped kernels
+// must reproduce bit for bit and for fold-ins that accumulate onto
+// live non-zero state, where regrouping would change rounding. The
 // ablation bench in the repository root compares them.
 package mttkrp
 
 import (
 	"fmt"
 
+	"dismastd/internal/layout"
 	"dismastd/internal/mat"
 	"dismastd/internal/tensor"
 )
@@ -149,28 +156,27 @@ func innerProductScratch(t *tensor.Tensor, factors []*mat.Dense, tmp []float64) 
 	return total
 }
 
-// ModeView is a counting-sort arrangement of tensor entries by one
-// mode's coordinate, grouping together all entries of each slice. It is
-// built once per (tensor, mode) and reused across ALS iterations — the
-// sparsity pattern is fixed within a snapshot. A view may cover the
-// whole tensor (NewModeView) or an explicit entry subset
-// (NewModeViewOf), which is how the distributed workers group the
-// entries their partition assigned them.
+// ModeView is the COO Kernel: a counting-sort arrangement of tensor
+// entries by one mode's coordinate, grouping together all entries of
+// each slice, walked through the source tensor's coordinate arrays via
+// an entry-order indirection. It is built once per (tensor, mode) and
+// reused across ALS iterations — the sparsity pattern is fixed within
+// a snapshot. A view may cover the whole tensor (NewModeView) or an
+// explicit entry subset (NewModeViewOf), which is how the distributed
+// workers group the entries their partition assigned them.
 type ModeView struct {
 	Mode       int
 	EntryOrder []int32 // entry ids ordered by mode coordinate
 	Rows       []int32 // distinct mode coordinates, ascending
 	Starts     []int32 // group i spans EntryOrder[Starts[i]:Starts[i+1]]
 
-	// chunks caches the last nnz-balanced chunk grid (see ChunkStarts)
-	// so steady-state parallel sweeps rebuild nothing.
-	chunks []int32
-	chunkC int
+	t       *tensor.Tensor // the viewed tensor, bound at construction
+	chunker layout.Chunker // per-c chunk grids (see ChunkStarts)
 }
 
 // NewModeView builds the view of every entry in O(nnz + I_n).
 func NewModeView(t *tensor.Tensor, mode int) *ModeView {
-	return newModeView(t, mode, nil, true)
+	return newModeView(t, mode, nil)
 }
 
 // NewModeViewOf builds the view of an explicit entry subset. entries
@@ -180,89 +186,84 @@ func NewModeView(t *tensor.Tensor, mode int) *ModeView {
 // grouped kernel accumulates each output row in exactly the order the
 // flat kernel would visit it.
 func NewModeViewOf(t *tensor.Tensor, mode int, entries []int32) *ModeView {
-	return newModeView(t, mode, entries, false)
+	if entries == nil {
+		entries = []int32{}
+	}
+	return newModeView(t, mode, entries)
 }
 
-func newModeView(t *tensor.Tensor, mode int, entries []int32, all bool) *ModeView {
+func newModeView(t *tensor.Tensor, mode int, entries []int32) *ModeView {
 	if mode < 0 || mode >= t.Order() {
 		panic(fmt.Sprintf("mttkrp: NewModeView mode %d on order-%d tensor", mode, t.Order()))
 	}
-	n := t.Order()
-	nnz := len(entries)
-	if all {
-		entries = nil
-		nnz = t.NNZ()
-	}
-	coord := func(i int) int32 {
-		e := int32(i)
-		if entries != nil {
-			e = entries[i]
-		}
-		return t.Coords[int(e)*n+mode]
-	}
-	counts := make([]int32, t.Dims[mode]+1)
-	for i := 0; i < nnz; i++ {
-		counts[coord(i)+1]++
-	}
-	for i := 1; i < len(counts); i++ {
-		counts[i] += counts[i-1]
-	}
-	offsets := append([]int32(nil), counts...)
-	order := make([]int32, nnz)
-	for i := 0; i < nnz; i++ {
-		e := int32(i)
-		if entries != nil {
-			e = entries[i]
-		}
-		row := coord(i)
-		order[offsets[row]] = e
-		offsets[row]++
-	}
-	v := &ModeView{Mode: mode, EntryOrder: order}
+	order, counts := t.ModeSort(mode, entries)
+	v := &ModeView{Mode: mode, EntryOrder: order, t: t}
 	for i := 0; i < t.Dims[mode]; i++ {
 		if counts[i+1] > counts[i] {
 			v.Rows = append(v.Rows, int32(i))
 			v.Starts = append(v.Starts, counts[i])
 		}
 	}
-	v.Starts = append(v.Starts, int32(nnz))
+	v.Starts = append(v.Starts, int32(len(order)))
 	return v
 }
 
 // NumRows returns the number of non-empty slices in the viewed mode.
 func (v *ModeView) NumRows() int { return len(v.Rows) }
 
+// ModeSize returns the viewed mode's size — the output row count.
+func (v *ModeView) ModeSize() int { return v.t.Dims[v.Mode] }
+
+// GroupRow returns the output row of group g.
+func (v *ModeView) GroupRow(g int) int32 { return v.Rows[g] }
+
+// GroupRange returns the position range [p0, p1) of group g.
+func (v *ModeView) GroupRange(g int) (p0, p1 int32) {
+	return v.Starts[g], v.Starts[g+1]
+}
+
+// EntryCoord returns the mode-k coordinate of the entry at position p.
+func (v *ModeView) EntryCoord(p int32, k int) int32 {
+	return v.t.Coords[int(v.EntryOrder[p])*v.t.Order()+k]
+}
+
+// EntryVal returns the value of the entry at position p.
+func (v *ModeView) EntryVal(p int32) float64 { return v.t.Vals[v.EntryOrder[p]] }
+
+// Validate panics unless dst and factors match the viewed tensor.
+func (v *ModeView) Validate(dst *mat.Dense, factors []*mat.Dense) {
+	r := checkFactors(v.t, factors)
+	if dst.Rows != v.t.Dims[v.Mode] || dst.Cols != r {
+		panic(fmt.Sprintf("mttkrp: destination %dx%d, want %dx%d", dst.Rows, dst.Cols, v.t.Dims[v.Mode], r))
+	}
+}
+
 // AccumulateInto adds the mode MTTKRP into dst using the row-grouped
 // kernel: each slice's contributions accumulate in a local buffer and
 // are written back once.
-func (v *ModeView) AccumulateInto(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense) {
-	r := checkFactors(t, factors)
-	v.accumulateScratch(dst, t, factors, make([]float64, r), make([]float64, r))
+func (v *ModeView) AccumulateInto(dst *mat.Dense, factors []*mat.Dense) {
+	v.Validate(dst, factors)
+	r := dst.Cols
+	v.AccumulateGroups(dst, factors, 0, len(v.Rows), make([]float64, r), make([]float64, r))
 }
 
 // AccumulateIntoWS is AccumulateInto with the tmp/acc buffers checked
 // out of ws instead of allocated. ws is released to its entry mark
 // before returning.
-func (v *ModeView) AccumulateIntoWS(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, ws *mat.Workspace) {
-	r := checkFactors(t, factors)
+func (v *ModeView) AccumulateIntoWS(dst *mat.Dense, factors []*mat.Dense, ws *mat.Workspace) {
+	v.Validate(dst, factors)
+	r := dst.Cols
 	mark := ws.Mark()
-	v.accumulateScratch(dst, t, factors, ws.TakeVec(r), ws.TakeVec(r))
+	v.AccumulateGroups(dst, factors, 0, len(v.Rows), ws.TakeVec(r), ws.TakeVec(r))
 	ws.Release(mark)
 }
 
-func (v *ModeView) accumulateScratch(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, tmp, acc []float64) {
-	r := len(tmp)
-	if dst.Rows != t.Dims[v.Mode] || dst.Cols != r {
-		panic(fmt.Sprintf("mttkrp: destination %dx%d, want %dx%d", dst.Rows, dst.Cols, t.Dims[v.Mode], r))
-	}
-	v.accumulateGroups(dst, t, factors, 0, len(v.Rows), tmp, acc)
-}
-
-// accumulateGroups runs the grouped kernel over groups [g0, g1). Each
+// AccumulateGroups runs the grouped kernel over groups [g0, g1). Each
 // group owns one output row, so disjoint group ranges write disjoint
 // rows — the unit of parallel work. The bits a group produces depend
 // only on its own entries, never on the range split.
-func (v *ModeView) accumulateGroups(dst *mat.Dense, t *tensor.Tensor, factors []*mat.Dense, g0, g1 int, tmp, acc []float64) {
+func (v *ModeView) AccumulateGroups(dst *mat.Dense, factors []*mat.Dense, g0, g1 int, tmp, acc []float64) {
+	t := v.t
 	for g := g0; g < g1; g++ {
 		for c := range acc {
 			acc[c] = 0
@@ -287,34 +288,8 @@ func (v *ModeView) NNZ() int { return int(v.Starts[len(v.Starts)-1]) }
 // group ranges: boundary i is the first group at or past i/c of the
 // view's entries, so chunks carry near-equal work even when slice
 // populations are skewed. The grid is a pure function of (view, c) —
-// nothing about scheduling feeds it — and is cached for reuse across
-// sweeps.
+// nothing about scheduling feeds it — and is cached per c, so a view
+// driven at several thread counts recomputes nothing in steady state.
 func (v *ModeView) ChunkStarts(c int) []int32 {
-	g := len(v.Rows)
-	if c > g {
-		c = g
-	}
-	if c < 1 {
-		c = 1
-	}
-	if v.chunkC == c && v.chunks != nil {
-		return v.chunks
-	}
-	starts := v.chunks[:0]
-	if cap(starts) < c+1 {
-		starts = make([]int32, 0, c+1)
-	}
-	starts = append(starts, 0)
-	total := int64(v.NNZ())
-	gi := 0
-	for i := 1; i < c; i++ {
-		target := int32(total * int64(i) / int64(c))
-		for gi < g && v.Starts[gi] < target {
-			gi++
-		}
-		starts = append(starts, int32(gi))
-	}
-	starts = append(starts, int32(g))
-	v.chunks, v.chunkC = starts, c
-	return starts
+	return v.chunker.Grid(c, v.Starts)
 }

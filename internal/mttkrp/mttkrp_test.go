@@ -1,9 +1,11 @@
 package mttkrp
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
+	"dismastd/internal/layout"
 	"dismastd/internal/mat"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
@@ -110,7 +112,7 @@ func TestRowGroupedMatchesFlat(t *testing.T) {
 	for mode := 0; mode < 3; mode++ {
 		flat := Compute(x, factors, mode)
 		grouped := mat.New(dims[mode], 4)
-		NewModeView(x, mode).AccumulateInto(grouped, x, factors)
+		NewModeView(x, mode).AccumulateInto(grouped, factors)
 		if d := mat.MaxAbsDiff(flat, grouped); d > 1e-10 {
 			t.Fatalf("mode %d: grouped kernel differs by %v", mode, d)
 		}
@@ -274,7 +276,7 @@ func BenchmarkRowGroupedKernel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dst.Zero()
-		v.AccumulateInto(dst, x, factors)
+		v.AccumulateInto(dst, factors)
 	}
 }
 
@@ -297,6 +299,63 @@ func BenchmarkRowGroupedKernelWS(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dst.Zero()
-		v.AccumulateIntoWS(dst, x, factors, ws)
+		v.AccumulateIntoWS(dst, factors, ws)
+	}
+}
+
+// BenchmarkMTTKRP is the layout comparison grid for BENCH_kernels.json:
+// one sequential MTTKRP per (layout, mode) on the same tensor, so
+// benchjson can derive each mode's speedup_vs_coo column. Compile time
+// is excluded — the compiled rows measure the steady state a snapshot's
+// sweeps run in.
+func BenchmarkMTTKRP(b *testing.B) {
+	x, factors := benchTensor()
+	for _, kind := range []layout.Kind{layout.COO, layout.Compiled} {
+		for mode := 0; mode < x.Order(); mode++ {
+			k := NewKernel(x, mode, kind)
+			dst := mat.New(x.Dims[mode], 10)
+			tmp := make([]float64, 10)
+			acc := make([]float64, 10)
+			b.Run(fmt.Sprintf("layout=%s/mode=%d", kind, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					dst.Zero()
+					k.AccumulateGroups(dst, factors, 0, k.NumRows(), tmp, acc)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompile prices the one-off cost the compiled rows of
+// BenchmarkMTTKRP exclude: building a mode layout from the tensor.
+func BenchmarkCompile(b *testing.B) {
+	x, _ := benchTensor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layout.Compile(x, 0, nil)
+	}
+}
+
+// BenchmarkChunkStarts is the regression guard for the per-(view,
+// thread-count) grid cache: a warm view serving two alternating chunk
+// counts must never rebuild a grid (0 B/op in BENCH_kernels.json).
+func BenchmarkChunkStarts(b *testing.B) {
+	x, _ := benchTensor()
+	for _, tc := range []struct {
+		name string
+		k    Kernel
+	}{
+		{"layout=coo", NewKernel(x, 0, layout.COO)},
+		{"layout=compiled", NewKernel(x, 0, layout.Compiled)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			tc.k.ChunkStarts(4)
+			tc.k.ChunkStarts(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tc.k.ChunkStarts(4)
+				tc.k.ChunkStarts(8)
+			}
+		})
 	}
 }

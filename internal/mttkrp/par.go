@@ -1,12 +1,14 @@
 package mttkrp
 
-// Row-block-parallel MTTKRP. The grouped kernel already isolates each
-// output row in its own group, so parallelism is a partition of the
-// group list: an nnz-balanced grid of contiguous group ranges, one
-// chunk per pool thread, each chunk accumulating with scratch from its
-// thread's workspace. No floating-point accumulator crosses a chunk
-// boundary, so the result is bitwise identical at every thread count
-// (and to the sequential grouped kernel, which is the 1-chunk case).
+// Row-block-parallel MTTKRP over any Kernel. The grouped
+// representations already isolate each output row in its own group, so
+// parallelism is a partition of the group list: a work-balanced grid
+// of contiguous group ranges (nnz-balanced for the COO view,
+// fiber-balanced for the compiled layout), one chunk per pool thread,
+// each chunk accumulating with scratch from its thread's workspace. No
+// floating-point accumulator crosses a chunk boundary, so the result
+// is bitwise identical at every thread count (and to the sequential
+// grouped kernel, which is the 1-chunk case).
 
 import (
 	"fmt"
@@ -14,7 +16,6 @@ import (
 	"dismastd/internal/mat"
 	"dismastd/internal/obs"
 	"dismastd/internal/par"
-	"dismastd/internal/tensor"
 )
 
 // ParAccumulator runs row-grouped MTTKRPs on a pool. It is owned by
@@ -31,9 +32,8 @@ type ParAccumulator struct {
 	gDepth  *obs.Gauge
 
 	// Per-call state, set by Accumulate and read by RunChunk.
-	view    *ModeView
+	kernel  Kernel
 	dst     *mat.Dense
-	t       *tensor.Tensor
 	factors []*mat.Dense
 	span    string
 }
@@ -56,24 +56,22 @@ func NewParAccumulator(pool *par.Pool, wss *mat.WorkspaceSet, o *obs.Obs) *ParAc
 	}
 }
 
-// Accumulate adds the view's MTTKRP into dst, chunked across the pool.
-// chunkSpan names the per-chunk spans (e.g. "mode0/mttkrp.chunk");
-// empty means no spans.
-func (p *ParAccumulator) Accumulate(dst *mat.Dense, view *ModeView, t *tensor.Tensor, factors []*mat.Dense, chunkSpan string) {
-	r := checkFactors(t, factors)
-	if dst.Rows != t.Dims[view.Mode] || dst.Cols != r {
-		panic(fmt.Sprintf("mttkrp: destination %dx%d, want %dx%d", dst.Rows, dst.Cols, t.Dims[view.Mode], r))
-	}
-	starts := view.ChunkStarts(p.pool.Threads())
-	p.view, p.dst, p.t, p.factors, p.span = view, dst, t, factors, chunkSpan
+// Accumulate adds the kernel's MTTKRP into dst, chunked across the
+// pool. chunkSpan names the per-chunk spans (e.g.
+// "mode0/mttkrp.chunk"); empty means no spans.
+func (p *ParAccumulator) Accumulate(dst *mat.Dense, k Kernel, factors []*mat.Dense, chunkSpan string) {
+	k.Validate(dst, factors)
+	starts := k.ChunkStarts(p.pool.Threads())
+	p.kernel, p.dst, p.factors, p.span = k, dst, factors, chunkSpan
 	p.pool.ForChunks(starts, p)
-	p.view, p.dst, p.t, p.factors = nil, nil, nil, nil
+	p.kernel, p.dst, p.factors = nil, nil, nil
 	chunks := int64(len(starts) - 1)
 	p.cChunks.Add(chunks)
 	p.gDepth.Set(float64(chunks - 1))
 }
 
-// RunChunk implements par.Body over a group range of the current view.
+// RunChunk implements par.Body over a group range of the current
+// kernel.
 func (p *ParAccumulator) RunChunk(g0, g1, tid int) {
 	var sp obs.Span
 	if p.span != "" {
@@ -82,7 +80,7 @@ func (p *ParAccumulator) RunChunk(g0, g1, tid int) {
 	ws := p.wss.At(tid)
 	mark := ws.Mark()
 	r := p.dst.Cols
-	p.view.accumulateGroups(p.dst, p.t, p.factors, g0, g1, ws.TakeVec(r), ws.TakeVec(r))
+	p.kernel.AccumulateGroups(p.dst, p.factors, g0, g1, ws.TakeVec(r), ws.TakeVec(r))
 	ws.Release(mark)
 	if p.span != "" {
 		sp.End()

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"dismastd/internal/layout"
 	"dismastd/internal/mat"
 	"dismastd/internal/obs"
 	"dismastd/internal/par"
@@ -44,7 +45,7 @@ func TestSubsetViewMatchesFlat(t *testing.T) {
 		t.Fatalf("view covers %d entries, want %d", view.NNZ(), len(entries))
 	}
 	got := mat.New(x.Dims[1], 5)
-	view.AccumulateInto(got, x, factors)
+	view.AccumulateInto(got, factors)
 	bitsEqual(t, "subset view", got, want)
 }
 
@@ -57,13 +58,13 @@ func TestParAccumulateBitwiseAcrossThreads(t *testing.T) {
 	for mode := 0; mode < x.Order(); mode++ {
 		view := NewModeView(x, mode)
 		want := mat.New(x.Dims[mode], 6)
-		view.AccumulateInto(want, x, factors)
+		view.AccumulateInto(want, factors)
 		for _, threads := range []int{1, 2, 3, 8} {
 			pool := par.New(threads)
 			wss := mat.NewWorkspaceSet(pool.Threads())
 			acc := NewParAccumulator(pool, wss, obs.New())
 			got := mat.New(x.Dims[mode], 6)
-			acc.Accumulate(got, view, x, factors, "mttkrp.chunk")
+			acc.Accumulate(got, view, factors, "mttkrp.chunk")
 			bitsEqual(t, "parallel accumulate", got, want)
 			pool.Close()
 		}
@@ -120,10 +121,59 @@ func TestParAccumulateSteadyStateAllocFree(t *testing.T) {
 	dst := mat.New(x.Dims[0], 8)
 	pass := func() {
 		dst.Zero()
-		acc.Accumulate(dst, view, x, factors, "mode0/mttkrp.chunk")
+		acc.Accumulate(dst, view, factors, "mode0/mttkrp.chunk")
 	}
 	pass()
 	if allocs := testing.AllocsPerRun(10, pass); allocs != 0 {
 		t.Fatalf("steady-state parallel MTTKRP allocates %v times, want 0", allocs)
+	}
+}
+
+// TestParAccumulateCompiledSteadyStateAllocFree: the compiled layout's
+// post-compile steady state — a warm accumulator dispatching a
+// compiled kernel across the pool — allocates nothing, same contract
+// as the COO view.
+func TestParAccumulateCompiledSteadyStateAllocFree(t *testing.T) {
+	x := randomTensor([]int{64, 32, 16}, 4000, 5)
+	factors := randomFactors(x.Dims, 8, 6)
+	kernel := NewKernel(x, 0, layout.Compiled)
+	pool := par.New(4)
+	defer pool.Close()
+	wss := mat.NewWorkspaceSet(pool.Threads())
+	acc := NewParAccumulator(pool, wss, obs.New())
+	dst := mat.New(x.Dims[0], 8)
+	pass := func() {
+		dst.Zero()
+		acc.Accumulate(dst, kernel, factors, "mode0/mttkrp.chunk")
+	}
+	pass()
+	if allocs := testing.AllocsPerRun(10, pass); allocs != 0 {
+		t.Fatalf("steady-state compiled parallel MTTKRP allocates %v times, want 0", allocs)
+	}
+}
+
+// TestParAccumulateCompiledMatchesCOOAllThreadCounts: the parallel
+// compiled kernel reproduces the sequential COO result bitwise at
+// every pool size.
+func TestParAccumulateCompiledMatchesCOOAllThreadCounts(t *testing.T) {
+	x := randomTensor([]int{40, 24, 12}, 3000, 7)
+	factors := randomFactors(x.Dims, 6, 8)
+	for mode := 0; mode < x.Order(); mode++ {
+		want := mat.New(x.Dims[mode], 6)
+		AccumulateInto(want, x, factors, mode)
+		kernel := NewKernel(x, mode, layout.Compiled)
+		for _, threads := range []int{1, 2, 3, 8} {
+			pool := par.New(threads)
+			wss := mat.NewWorkspaceSet(pool.Threads())
+			acc := NewParAccumulator(pool, wss, obs.New())
+			dst := mat.New(x.Dims[mode], 6)
+			acc.Accumulate(dst, kernel, factors, "")
+			pool.Close()
+			for i, v := range dst.Data {
+				if math.Float64bits(v) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("mode %d threads %d: parallel compiled differs from flat COO at %d", mode, threads, i)
+				}
+			}
+		}
 	}
 }

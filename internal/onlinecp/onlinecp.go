@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"dismastd/internal/layout"
 	"dismastd/internal/mat"
 	"dismastd/internal/mttkrp"
 	"dismastd/internal/par"
@@ -40,6 +41,13 @@ type Options struct {
 	// 0 or 1 means sequential; results are bitwise identical at every
 	// value. Call Close when done with a tracker to stop the pool.
 	Threads int
+
+	// Layout selects the kernel representation of the initial ALS (see
+	// internal/layout): COO (default) or Compiled. Absorb's P fold-in
+	// always stays on the flat kernel — it accumulates onto live
+	// non-zero state, where regrouping would change rounding — so
+	// results are bitwise identical under either.
+	Layout layout.Kind
 }
 
 func (o *Options) withDefaults(order int) (Options, error) {
@@ -124,10 +132,10 @@ func Init(x *tensor.Tensor, o Options) (*Tracker, error) {
 	wss := mat.NewWorkspaceSet(pool.Threads())
 	pk := mat.NewParKernels(pool, wss)
 	pacc := mttkrp.NewParAccumulator(pool, wss, nil)
-	views := make([]*mttkrp.ModeView, n)
+	kernels := make([]mttkrp.Kernel, n)
 	mbuf := make([]*mat.Dense, n)
 	for m := 0; m < n; m++ {
-		views[m] = mttkrp.NewModeView(x, m)
+		kernels[m] = mttkrp.NewKernel(x, m, opts.Layout)
 		mbuf[m] = mat.New(x.Dims[m], r)
 	}
 	denom := mat.New(r, r)
@@ -135,7 +143,7 @@ func Init(x *tensor.Tensor, o Options) (*Tracker, error) {
 		for m := 0; m < n; m++ {
 			M := mbuf[m]
 			M.Zero()
-			pacc.Accumulate(M, views[m], x, factors, "")
+			pacc.Accumulate(M, kernels[m], factors, "")
 			hadamardExceptInto(denom, grams, m)
 			pk.SolveRightRidgeInto(factors[m], M, denom)
 			pk.GramInto(grams[m], factors[m])

@@ -1,0 +1,85 @@
+package tensor
+
+import "fmt"
+
+// Compile hooks: the primitives a kernel-representation layer needs to
+// reorganise a region of this tensor without re-deriving COO internals.
+// internal/mttkrp builds its row-grouped views on ModeSort, and
+// internal/layout builds its compiled fiber-grouped layouts on ModeSort
+// plus the gather helpers, so the two representations can never
+// disagree about entry order.
+
+// ModeSort stable-counting-sorts an entry subset by its mode-`mode`
+// coordinate. entries lists tensor entry ids; nil means every entry.
+// It returns the sorted entry ids and the cumulative group boundaries:
+// counts has Dims[mode]+1 elements and the entries of coordinate i are
+// order[counts[i]:counts[i+1]].
+//
+// The sort is stable — entries sharing a coordinate keep their order
+// from the input list — which is what lets grouped kernels accumulate
+// each output row in exactly the order a flat entry walk would visit
+// it, bit for bit.
+func (t *Tensor) ModeSort(mode int, entries []int32) (order, counts []int32) {
+	if mode < 0 || mode >= t.Order() {
+		panic(fmt.Sprintf("tensor: ModeSort mode %d on order-%d tensor", mode, t.Order()))
+	}
+	n := t.Order()
+	nnz := len(entries)
+	if entries == nil {
+		nnz = t.NNZ()
+	}
+	coord := func(i int) int32 {
+		e := int32(i)
+		if entries != nil {
+			e = entries[i]
+		}
+		return t.Coords[int(e)*n+mode]
+	}
+	counts = make([]int32, t.Dims[mode]+1)
+	for i := 0; i < nnz; i++ {
+		counts[coord(i)+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	offsets := append([]int32(nil), counts...)
+	order = make([]int32, nnz)
+	for i := 0; i < nnz; i++ {
+		e := int32(i)
+		if entries != nil {
+			e = entries[i]
+		}
+		row := coord(i)
+		order[offsets[row]] = e
+		offsets[row]++
+	}
+	return order, counts
+}
+
+// GatherCoords fills dst (allocating when too short) with the mode
+// coordinates of the listed entries, in list order: dst[p] =
+// Coords[order[p]*N + mode].
+func (t *Tensor) GatherCoords(dst []int32, mode int, order []int32) []int32 {
+	if cap(dst) < len(order) {
+		dst = make([]int32, len(order))
+	}
+	dst = dst[:len(order)]
+	n := t.Order()
+	for p, e := range order {
+		dst[p] = t.Coords[int(e)*n+mode]
+	}
+	return dst
+}
+
+// GatherVals fills dst (allocating when too short) with the values of
+// the listed entries, in list order.
+func (t *Tensor) GatherVals(dst []float64, order []int32) []float64 {
+	if cap(dst) < len(order) {
+		dst = make([]float64, len(order))
+	}
+	dst = dst[:len(order)]
+	for p, e := range order {
+		dst[p] = t.Vals[e]
+	}
+	return dst
+}

@@ -7,6 +7,7 @@ import (
 
 	"dismastd/internal/core"
 	"dismastd/internal/dtd"
+	"dismastd/internal/layout"
 	"dismastd/internal/partition"
 )
 
@@ -43,6 +44,14 @@ type Options struct {
 	// 0 or 1 means sequential. Factors are bitwise identical at every
 	// value — parallelism never reorders a floating-point reduction.
 	Threads int
+
+	// Layout selects the sparse-kernel representation: "coo" (or "",
+	// the default) walks the tensor's coordinate arrays in place;
+	// "compiled" compiles each snapshot region once into a mode-sorted,
+	// fiber-grouped layout that every sweep then reuses. Factors are
+	// bitwise identical under either — the layout changes memory
+	// traffic, never floating-point order.
+	Layout string
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -58,7 +67,16 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Threads < 0 {
 		return o, fmt.Errorf("dismastd: Threads must be non-negative, got %d", o.Threads)
 	}
+	if _, err := layout.ParseKind(o.Layout); err != nil {
+		return o, fmt.Errorf("dismastd: %v", err)
+	}
 	return o, nil
+}
+
+// layoutKind returns the parsed Layout; call after withDefaults.
+func (o Options) layoutKind() layout.Kind {
+	k, _ := layout.ParseKind(o.Layout)
+	return k
 }
 
 // StepReport summarises what one Ingest call did.
@@ -104,7 +122,7 @@ func (s *Stream) Ingest(snapshot *Tensor) (*StepReport, error) {
 		st, stats, err := dtd.Init(snapshot, dtd.Options{
 			Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol,
 			Mu: opts.ForgettingFactor, Seed: opts.Seed,
-			Threads: opts.Threads,
+			Threads: opts.Threads, Layout: opts.layoutKind(),
 		})
 		if err != nil {
 			return nil, err
@@ -117,7 +135,7 @@ func (s *Stream) Ingest(snapshot *Tensor) (*StepReport, error) {
 		st, stats, err := dtd.Step(s.state, snapshot, dtd.Options{
 			Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol,
 			Mu: opts.ForgettingFactor, Seed: opts.Seed + uint64(s.step),
-			Threads: opts.Threads,
+			Threads: opts.Threads, Layout: opts.layoutKind(),
 		})
 		if err != nil {
 			return nil, err
@@ -132,7 +150,7 @@ func (s *Stream) Ingest(snapshot *Tensor) (*StepReport, error) {
 			Mu: opts.ForgettingFactor, Seed: opts.Seed + uint64(s.step),
 			Workers: opts.Workers, Parts: opts.Parts,
 			Method:  partition.Method(opts.Partitioner),
-			Threads: opts.Threads,
+			Threads: opts.Threads, Layout: opts.layoutKind(),
 		})
 		if err != nil {
 			return nil, err
