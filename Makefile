@@ -12,7 +12,7 @@ NUMERIC_PKGS = ./internal/par/... ./internal/mat/... ./internal/mttkrp/... \
 	./internal/layout/... ./internal/cp/... ./internal/dtd/... \
 	./internal/dmsmg/... ./internal/completion/... ./internal/onlinecp/...
 
-.PHONY: all build test vet race check bench bench-comm bench-paper bench-par profile clean
+.PHONY: all build test vet race check bench bench-comm bench-obs bench-paper bench-par profile clean
 
 all: check
 
@@ -51,8 +51,18 @@ bench-comm:
 		./internal/cluster/... ./internal/dplan/... \
 		| $(GO) run ./cmd/benchjson -o BENCH_comm.json
 
+# Observability-plane fence benchmark: the per-step overhead the
+# cluster plane adds, across cluster sizes and per-step span volumes.
+# maxrank-B/op is the coordinator's gather traffic per fence — the
+# plane's bandwidth cost, byte-accounted.
+bench-obs:
+	$(GO) test -bench='BenchmarkObs' -benchmem -benchtime=20x -run '^$$' \
+		./internal/obs/... \
+		| $(GO) run ./cmd/benchjson -o BENCH_obs.json
+
 # End-to-end paper-scale benchmark harness: the streaming benchmark
-# with the tracer's per-phase medians, captured as JSON.
+# with the tracer's per-phase medians and p95/p99 tails, captured as
+# JSON (benchjson derives per-phase tail_p99_over_p50 columns).
 bench-paper:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/bench/... \
 		| $(GO) run ./cmd/benchjson -o BENCH_stream.json

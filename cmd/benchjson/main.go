@@ -122,6 +122,31 @@ func addSpeedups(rows []Row) {
 	derive(rows, layoutSeg, "coo", "speedup_vs_coo")
 }
 
+// addTailRatios derives <phase>_tail_p99_over_p50 for every phase that
+// reports both <phase>_p50_us and <phase>_p99_us — the tail
+// amplification factor BENCH_stream.json tracks across PRs. A phase
+// whose p99 drifts away from its own median signals a straggling rank
+// (or a GC/allocation hiccup) long before the median series moves.
+func addTailRatios(rows []Row) {
+	const p50, p99, ratio = "_p50_us", "_p99_us", "_tail_p99_over_p50"
+	for i := range rows {
+		r := &rows[i]
+		derived := map[string]float64{}
+		for k, v := range r.Extra {
+			phase, ok := strings.CutSuffix(k, p50)
+			if !ok || v == 0 {
+				continue
+			}
+			if tail, ok := r.Extra[phase+p99]; ok {
+				derived[phase+ratio] = tail / v
+			}
+		}
+		for k, v := range derived {
+			r.Extra[k] = v
+		}
+	}
+}
+
 // derive adds metric to every row whose name matches seg, computed as
 // the ns/op of the baseline row (seg's capture equal to baseVal, same
 // package and name otherwise) divided by the row's own ns/op.
@@ -190,6 +215,7 @@ func main() {
 		os.Exit(1)
 	}
 	addSpeedups(doc.Results)
+	addTailRatios(doc.Results)
 	if doc.Meta.GOMAXPROCS == 0 {
 		// No -N name suffix (GOMAXPROCS=1 runs omit it, or no rows):
 		// fall back to this process, which `make bench*` runs on the

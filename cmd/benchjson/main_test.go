@@ -75,6 +75,30 @@ func TestAddSpeedups(t *testing.T) {
 	}
 }
 
+func TestAddTailRatios(t *testing.T) {
+	rows := []Row{
+		{Package: "p", Name: "BenchmarkStreamPaper-8", NsPerOp: 1, Extra: map[string]float64{
+			"mttkrp_p50_us": 40, "mttkrp_p95_us": 60, "mttkrp_p99_us": 100,
+			"solve_p50_us": 10, // no p99 counterpart
+			"stream_iters": 15,
+		}},
+		{Package: "p", Name: "BenchmarkStepLocal-8", NsPerOp: 1}, // no extras at all
+	}
+	addTailRatios(rows)
+	if got := rows[0].Extra["mttkrp_tail_p99_over_p50"]; got != 2.5 {
+		t.Fatalf("mttkrp tail ratio %v, want 2.5", got)
+	}
+	if _, ok := rows[0].Extra["solve_tail_p99_over_p50"]; ok {
+		t.Fatal("tail ratio derived without a p99 metric")
+	}
+	if _, ok := rows[0].Extra["stream_iters_tail_p99_over_p50"]; ok {
+		t.Fatal("tail ratio derived from a non-quantile metric")
+	}
+	if rows[1].Extra != nil {
+		t.Fatalf("extras invented on a bare row: %v", rows[1].Extra)
+	}
+}
+
 func TestAddLayoutSpeedups(t *testing.T) {
 	rows := []Row{
 		{Package: "p", Name: "BenchmarkMTTKRP/layout=coo/mode=0-8", NsPerOp: 8000},

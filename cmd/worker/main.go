@@ -38,6 +38,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dismastd/internal/cluster"
@@ -45,6 +46,7 @@ import (
 	"dismastd/internal/dtd"
 	"dismastd/internal/layout"
 	"dismastd/internal/obs"
+	obscluster "dismastd/internal/obs/cluster"
 	"dismastd/internal/partition"
 	"dismastd/internal/tensor"
 )
@@ -81,6 +83,20 @@ type workerConfig struct {
 	joinAt  map[int]int // step -> joining world rank
 	drainAt map[int]int // step -> draining world rank
 	killAt  map[int]int // step -> chaos-killed world rank
+
+	plane     bool
+	rebalance bool
+	threshold float64
+	cooldown  int
+}
+
+// planeConfig maps the detector knobs onto the plane configuration;
+// zero values mean the plane's own defaults.
+func (cfg workerConfig) planeConfig() obscluster.Config {
+	return obscluster.Config{Detector: obscluster.DetectorConfig{
+		Threshold: cfg.threshold,
+		Cooldown:  cfg.cooldown,
+	}}
 }
 
 // resolveThreads maps the -threads flag to a pool size: 0 means one
@@ -122,6 +138,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	joinAt := fs.String("join-at", "", "elastic mode: scripted joins as rank:step,... — identical on every rank")
 	drainAt := fs.String("drain-at", "", "elastic mode: scripted drains as rank:step,... — identical on every rank")
 	killAt := fs.String("kill-at", "", "elastic mode: chaos-kill script as rank:step,... — the named rank crashes mid-step; identical on every rank")
+	plane := fs.Bool("plane", false, "worker mode: run the cluster observability plane — per-step fences gather every rank's metric deltas, spans, and runtime gauges to rank 0, served on -debug-addr's /debug/cluster")
+	rebalance := fs.Bool("rebalance-on-imbalance", false, "elastic mode: arm the plane's imbalance detector — sustained per-rank compute skew re-partitions the stream live at the next fence (implies -plane)")
+	threshold := fs.Float64("imbalance-threshold", 0, "detector: load/compute coefficient of variation that counts as imbalanced (0 = default 0.3)")
+	cooldown := fs.Int("imbalance-cooldown", 0, "detector: fences to hold fire after a rebalance (0 = default 2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -173,6 +193,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if !*elastic && (len(joins)+len(drains)+len(kills) > 0 || *members != 0) {
 			return fmt.Errorf("-members/-join-at/-drain-at/-kill-at require -elastic")
 		}
+		if *rebalance && !*elastic {
+			return fmt.Errorf("-rebalance-on-imbalance requires -elastic (only the elastic driver can re-partition a live stream)")
+		}
 		lk, err := layout.ParseKind(*layoutFlag)
 		if err != nil {
 			return err
@@ -187,6 +210,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			debugAddr: *debugAddr, ringThreshold: *ringThreshold,
 			elastic: *elastic, members: *members,
 			joinAt: joins, drainAt: drains, killAt: kills,
+			plane: *plane || *rebalance, rebalance: *rebalance,
+			threshold: *threshold, cooldown: *cooldown,
 		}
 		return runWorker(stdout, stderr, cfg)
 	default:
@@ -241,8 +266,12 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 			return err
 		}
 	}
+	// The cluster plane comes up lazily (the elastic driver builds it
+	// per stream); the debug endpoints hold a pointer they resolve per
+	// scrape, serving 503 until the first fence can run.
+	var planeHolder atomic.Pointer[obscluster.Plane]
 	if cfg.debugAddr != "" {
-		srv, addr, err := startDebugServer(cfg.debugAddr, node.Obs())
+		srv, addr, err := startDebugServer(cfg.debugAddr, node.Obs(), planeHolder.Load)
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
@@ -250,7 +279,18 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 		log.Info("debug endpoints serving", "addr", addr.String())
 	}
 	if cfg.elastic {
-		return runElasticWorker(stdout, log, node, cfg, snaps, prev, start)
+		return runElasticWorker(stdout, log, node, cfg, snaps, prev, start, &planeHolder)
+	}
+
+	var plane *obscluster.Plane
+	var planeMembers []int
+	if cfg.plane {
+		plane = obscluster.NewPlane(cfg.planeConfig(), node.Obs(), node.Size())
+		planeHolder.Store(plane)
+		planeMembers = make([]int, node.Size())
+		for i := range planeMembers {
+			planeMembers[i] = i
+		}
 	}
 
 	for step := start; step < len(snaps); step++ {
@@ -300,6 +340,17 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 			return fmt.Errorf("rank %d step %d state broadcast: %w", node.Rank(), step, err)
 		}
 		prev = next
+		// The static loop's fence: the membership never changes, so the
+		// plane runs purely as observation — epoch 0, identity members —
+		// aggregating the step's spans and metric deltas on rank 0.
+		if plane != nil {
+			if _, err := node.Run(func(w *cluster.Worker) error {
+				_, ferr := plane.Fence(w, planeMembers, 0, step, job.PlannedLoads())
+				return ferr
+			}); err != nil {
+				return fmt.Errorf("rank %d step %d plane fence: %w", node.Rank(), step, err)
+			}
+		}
 		if node.Rank() == 0 && cfg.checkpoint != "" {
 			if err := writeCheckpoint(cfg.checkpoint, step, prev); err != nil {
 				return fmt.Errorf("checkpoint step %d: %w", step, err)
@@ -335,7 +386,7 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 // rank ends as the final view's rank 0 writes the result. Crash
 // recovery needs -heartbeat so deaths surface as typed peer-down
 // errors instead of receive timeouts.
-func runElasticWorker(stdout io.Writer, log *slog.Logger, node *cluster.TCPNode, cfg workerConfig, snaps []*tensor.Tensor, prev *dtd.State, start int) error {
+func runElasticWorker(stdout io.Writer, log *slog.Logger, node *cluster.TCPNode, cfg workerConfig, snaps []*tensor.Tensor, prev *dtd.State, start int, planeHolder *atomic.Pointer[obscluster.Plane]) error {
 	members := cfg.members
 	if members == 0 {
 		members = node.Size()
@@ -361,6 +412,12 @@ func runElasticWorker(stdout io.Writer, log *slog.Logger, node *cluster.TCPNode,
 		KillAtStep:  shift(cfg.killAt),
 		JoinAtStep:  shift(cfg.joinAt),
 		DrainAtStep: shift(cfg.drainAt),
+	}
+	if cfg.plane {
+		pc := cfg.planeConfig()
+		o.Plane = &pc
+		o.RebalanceOnImbalance = cfg.rebalance
+		o.PlaneReady = func(_ int, p *obscluster.Plane) { planeHolder.Store(p) }
 	}
 	if cfg.checkpoint != "" {
 		o.Checkpoint = func(step int, st *dtd.State) error {
@@ -431,15 +488,21 @@ func parseRankSteps(s string) (map[int]int, error) {
 }
 
 // startDebugServer serves the node's observability debug endpoints
-// (net/http/pprof, /debug/metrics, /debug/phases, /debug/trace) on addr
+// (net/http/pprof, /metrics, /debug/metrics, /debug/phases,
+// /debug/trace) plus the cluster plane's /debug/cluster views on addr
 // until the returned server is closed. The endpoints carry no
 // authentication; addr should stay on loopback or a trusted network.
-func startDebugServer(addr string, o *obs.Obs) (*http.Server, net.Addr, error) {
+func startDebugServer(addr string, o *obs.Obs, getPlane func() *obscluster.Plane) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: obs.Handler(o)}
+	mux := http.NewServeMux()
+	ch := obscluster.Handler(getPlane)
+	mux.Handle("/debug/cluster", ch)
+	mux.Handle("/debug/cluster/", ch)
+	mux.Handle("/", obs.Handler(o))
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return srv, ln.Addr(), nil
 }

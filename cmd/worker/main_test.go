@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dismastd"
@@ -15,6 +16,7 @@ import (
 	"dismastd/internal/dtd"
 	"dismastd/internal/mat"
 	"dismastd/internal/obs"
+	obscluster "dismastd/internal/obs/cluster"
 )
 
 // TestTwoStepTCPCluster drives the full worker flow in-process: a
@@ -59,6 +61,7 @@ func TestTwoStepTCPCluster(t *testing.T) {
 					"-join", rv.Addr(), "-tensor", snaps[step],
 					"-rank", "3", "-iters", "3", "-seed", "5",
 					"-out", state, "-timeout", "30s",
+					"-plane", // static-loop observability fences ride along
 				}
 				if step > 0 {
 					args = append(args, "-prev", state)
@@ -93,6 +96,7 @@ func TestWorkerArgErrors(t *testing.T) {
 		"join without file":         {"-join", "127.0.0.1:1"},
 		"bad method":                {"-join", "127.0.0.1:1", "-tensor", "x.tsv", "-method", "zzz"},
 		"resume without checkpoint": {"-join", "127.0.0.1:1", "-tensor", "x.tsv", "-resume"},
+		"rebalance without elastic": {"-join", "127.0.0.1:1", "-tensor", "x.tsv", "-rebalance-on-imbalance"},
 	} {
 		if err := run(args, &stdout, &stderr); err == nil {
 			t.Fatalf("%s accepted", name)
@@ -375,7 +379,8 @@ func TestDebugServerServesProfilesAndMetrics(t *testing.T) {
 	sp := o.Span("mode0/mttkrp")
 	sp.End()
 
-	srv, addr, err := startDebugServer("127.0.0.1:0", o)
+	var planeHolder atomic.Pointer[obscluster.Plane]
+	srv, addr, err := startDebugServer("127.0.0.1:0", o, planeHolder.Load)
 	if err != nil {
 		t.Skipf("loopback networking unavailable: %v", err)
 	}
@@ -405,6 +410,22 @@ func TestDebugServerServesProfilesAndMetrics(t *testing.T) {
 	if body := get("/debug/trace"); !strings.Contains(body, `"mode0/mttkrp"`) {
 		t.Fatalf("trace missing span: %s", body)
 	}
+	if body := get("/metrics"); !strings.Contains(body, "mttkrp_rows 42") {
+		t.Fatalf("/metrics missing Prometheus counter: %s", body)
+	}
+
+	// The cluster views 503 until a plane exists, then serve the
+	// aggregator snapshot — the holder is resolved per scrape.
+	if resp, err := http.Get(base + "/debug/cluster"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/debug/cluster before any plane: status %d, want 503", resp.StatusCode)
+	}
+	planeHolder.Store(obscluster.NewPlane(obscluster.Config{}, o, 1))
+	if body := get("/debug/cluster"); !strings.Contains(body, `"detector"`) {
+		t.Fatalf("/debug/cluster missing detector snapshot: %s", body)
+	}
+
 	// A short CPU profile must come back as a valid (gzipped) pprof
 	// payload — the acceptance check `go tool pprof <addr>` depends on.
 	prof := get("/debug/pprof/profile?seconds=1")

@@ -37,11 +37,14 @@ type PhaseStep struct {
 }
 
 // PhaseMedian summarises one phase across every span the stream's
-// ranks retained.
+// ranks retained: the median plus the p95/p99 tail, which is where a
+// straggling rank shows up long before it moves the median.
 type PhaseMedian struct {
 	Phase    string `json:"phase"`
 	Count    int    `json:"count"`
 	MedianNs int64  `json:"median_ns"`
+	P95Ns    int64  `json:"p95_ns"`
+	P99Ns    int64  `json:"p99_ns"`
 }
 
 // PhasesReport is the full breakdown for one dataset's stream.
@@ -106,7 +109,9 @@ func StreamPhases(cfg Config, k dataset.Kind) (*PhasesReport, error) {
 		report.Medians = append(report.Medians, PhaseMedian{
 			Phase:    ph,
 			Count:    len(ds),
-			MedianNs: int64(ds[len(ds)/2]),
+			MedianNs: int64(obs.QuantileDurations(ds, 0.5)),
+			P95Ns:    int64(obs.QuantileDurations(ds, 0.95)),
+			P99Ns:    int64(obs.QuantileDurations(ds, 0.99)),
 		})
 	}
 	sort.Slice(report.Medians, func(a, b int) bool { return report.Medians[a].Phase < report.Medians[b].Phase })
@@ -154,15 +159,25 @@ func FormatPhases(reports []*PhasesReport) string {
 			}
 			fmt.Fprintf(&b, " %12d\n", rk.BytesSent)
 		}
-		fmt.Fprintf(&b, "%6s", "p50")
-		medians := map[string]time.Duration{}
-		for _, m := range rep.Medians {
-			medians[m.Phase] = time.Duration(m.MedianNs)
+		quantiles := []struct {
+			label string
+			ns    func(PhaseMedian) int64
+		}{
+			{"p50", func(m PhaseMedian) int64 { return m.MedianNs }},
+			{"p95", func(m PhaseMedian) int64 { return m.P95Ns }},
+			{"p99", func(m PhaseMedian) int64 { return m.P99Ns }},
 		}
-		for _, ph := range phases {
-			fmt.Fprintf(&b, " %12s", medians[ph].Round(time.Microsecond))
+		for _, q := range quantiles {
+			fmt.Fprintf(&b, "%6s", q.label)
+			row := map[string]time.Duration{}
+			for _, m := range rep.Medians {
+				row[m.Phase] = time.Duration(q.ns(m))
+			}
+			for _, ph := range phases {
+				fmt.Fprintf(&b, " %12s", row[ph].Round(time.Microsecond))
+			}
+			fmt.Fprintln(&b)
 		}
-		fmt.Fprintln(&b)
 		fmt.Fprintln(&b)
 	}
 	return b.String()

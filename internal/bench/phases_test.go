@@ -30,6 +30,9 @@ func TestStreamPhasesReportsEveryRankAndPhase(t *testing.T) {
 		if m.Count == 0 {
 			t.Fatalf("phase %s has no spans", m.Phase)
 		}
+		if m.P95Ns < m.MedianNs || m.P99Ns < m.P95Ns {
+			t.Fatalf("phase %s quantiles out of order: p50=%d p95=%d p99=%d", m.Phase, m.MedianNs, m.P95Ns, m.P99Ns)
+		}
 	}
 	for _, ph := range []string{"mttkrp", "solve", "allreduce", "exchange", "loss"} {
 		if !seen[ph] {
@@ -71,6 +74,8 @@ func BenchmarkStreamPaper(b *testing.B) {
 	}
 	for _, m := range rep.Medians {
 		b.ReportMetric(float64(m.MedianNs)/1e3, m.Phase+"_p50_us")
+		b.ReportMetric(float64(m.P95Ns)/1e3, m.Phase+"_p95_us")
+		b.ReportMetric(float64(m.P99Ns)/1e3, m.Phase+"_p99_us")
 	}
 	iters := 0
 	for _, s := range rep.Steps {

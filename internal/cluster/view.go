@@ -174,6 +174,11 @@ func (w *Worker) ViewWorker(v View) (*Worker, error) {
 		}
 	}
 	tagEpoch := w.tagEpoch + "v" + strconv.FormatInt(v.Epoch, 10) + "|"
+	// Stamp the shared tracer with the new epoch: spans recorded after a
+	// view change carry it, so merged cluster timelines can separate
+	// pre- from post-transition work. Epochs are serial per rank, so the
+	// stamp and the derived worker change together.
+	w.obs.SetEpoch(v.Epoch)
 	return &Worker{
 		rank:         me,
 		size:         v.Size(),

@@ -132,6 +132,40 @@ func TestViewWorkerCollectivesFenced(t *testing.T) {
 	}
 }
 
+// TestViewWorkerStampsObsEpoch: deriving a view worker stamps the
+// shared tracer with the view epoch, so spans ending after the
+// derivation export that epoch — the identity merged cluster timelines
+// use to separate pre- from post-transition work.
+func TestViewWorkerStampsObsEpoch(t *testing.T) {
+	c := NewLocal(2)
+	_, err := c.Run(func(w *Worker) error {
+		o := w.Obs()
+		o.Span("before").End()
+		if _, err := w.ViewWorker(NewView(7, []int{0, 1})); err != nil {
+			return err
+		}
+		o.Span("after").End()
+		want := map[string]int64{"before": 0, "after": 7}
+		for _, ev := range o.Trace.Events() {
+			wantEpoch, ok := want[ev.Name]
+			if !ok {
+				continue
+			}
+			if ev.Epoch != wantEpoch {
+				t.Errorf("rank %d span %q exported epoch %d, want %d", w.Rank(), ev.Name, ev.Epoch, wantEpoch)
+			}
+			delete(want, ev.Name)
+		}
+		if len(want) != 0 {
+			t.Errorf("rank %d missing spans %v", w.Rank(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
 // TestViewWorkerEpochMetricsNoBleed is the per-epoch transport metrics
 // regression test: deriving a view worker snapshots a fresh baseline,
 // so an epoch's MetricsSnapshot counts that epoch's traffic only — the

@@ -66,6 +66,15 @@ type Options struct {
 	// recompiles. Factors are bitwise identical under either.
 	Layout layout.Kind
 
+	// RankWeights optionally skews the partitioning by per-rank cost
+	// weights (index = rank, length = Workers): the planner minimises
+	// weighted completion time, so a rank with weight 2 — twice the
+	// measured cost per entry — receives roughly half the entries. Nil
+	// means uniform and reproduces the unweighted plan bitwise. The
+	// elastic driver's imbalance detector feeds EWMA-derived weights in
+	// here when a fence-time rebalance fires.
+	RankWeights []float64
+
 	// BroadcastRows replaces the subscription-based row exchange with a
 	// full broadcast of every owner's rows (ablation baseline).
 	BroadcastRows bool
@@ -113,6 +122,9 @@ func (o *Options) withDefaults() (Options, error) {
 	if opts.Threads < 0 {
 		return opts, fmt.Errorf("core: negative thread count %d", opts.Threads)
 	}
+	if opts.RankWeights != nil && len(opts.RankWeights) != opts.Workers {
+		return opts, fmt.Errorf("core: %d rank weights for %d workers", len(opts.RankWeights), opts.Workers)
+	}
 	if opts.Threads == 0 {
 		opts.Threads = 1
 	}
@@ -151,6 +163,24 @@ func Step(prev *dtd.State, snapshot *tensor.Tensor, o Options) (*dtd.State, *Ste
 	stats.Phases = PhasesOf(runStats)
 	job.OverrideAlgoMetrics(runStats)
 	return st, stats, nil
+}
+
+// RankPhases returns each rank's per-phase wall-time aggregates from
+// the step's run (index = rank; empty when the run carried no
+// instrumentation) — the per-rank view the cluster observability plane
+// and the bench imbalance tables consume, where PhasesOf's cross-rank
+// merge would hide exactly the skew being measured.
+func (s *StepStats) RankPhases() [][]obs.PhaseStat {
+	if s.Cluster == nil {
+		return nil
+	}
+	out := make([][]obs.PhaseStat, len(s.Cluster.Ranks))
+	for i, rk := range s.Cluster.Ranks {
+		if rk.Obs != nil {
+			out[i] = obs.AggregatePhases(rk.Obs.Phases)
+		}
+	}
+	return out
 }
 
 // PhasesOf merges every rank's span aggregates into one per-phase
@@ -200,7 +230,7 @@ func NewStepJob(prev *dtd.State, snapshot *tensor.Tensor, o Options) (*StepJob, 
 	comp := snapshot.Complement(prev.Dims)
 	sp.End()
 	sp = opts.Obs.Span("plan/partition")
-	plan := dplan.Build(comp, opts.Workers, opts.Parts, opts.Method)
+	plan := dplan.BuildWeighted(comp, opts.Workers, opts.Parts, opts.Method, opts.RankWeights)
 	sp.End()
 	if opts.Obs != nil {
 		for _, mp := range plan.ModePlans {
@@ -231,6 +261,11 @@ func newCaches(workers int) []*layout.Cache {
 
 // Workers returns the cluster size the job was planned for.
 func (j *StepJob) Workers() int { return j.opts.Workers }
+
+// PlannedLoads returns the per-rank planned load of the step's plan —
+// the modelled cost the observability plane's fence feeds its
+// imbalance detector.
+func (j *StepJob) PlannedLoads() []float64 { return j.plan.RankLoads() }
 
 // Result assembles the new state and summary statistics after every
 // rank's RunWorker has returned. The Cluster field of the stats is left

@@ -36,11 +36,13 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"dismastd/internal/cluster"
 	"dismastd/internal/dplan"
 	"dismastd/internal/dtd"
 	"dismastd/internal/mat"
+	obscluster "dismastd/internal/obs/cluster"
 	"dismastd/internal/tensor"
 )
 
@@ -68,9 +70,35 @@ type ElasticOptions struct {
 	JoinAtStep  map[int]int
 	DrainAtStep map[int]int
 
+	// SlowRanks scripts heterogeneous hardware: world rank → extra
+	// compute nanoseconds per unit of planned load, burned inside a
+	// compute-phase span every step. The observability plane sees the
+	// padding exactly as it would a member with slower cores, which is
+	// what the rebalance chaos tests use to provoke the detector
+	// deterministically.
+	SlowRanks map[int]float64
+
 	// Checkpoint, when set, is called by view rank 0 at every step fence
 	// with the fully synced pre-step state.
 	Checkpoint func(step int, st *dtd.State) error
+
+	// Plane, when set, turns on the cluster observability plane: every
+	// member gathers its metric deltas, runtime gauges, and fresh spans
+	// to the view coordinator after each step's state sync, and the
+	// coordinator's imbalance detector broadcasts its verdict back.
+	Plane *obscluster.Config
+
+	// RebalanceOnImbalance arms the plane's detector: when the smoothed
+	// per-rank imbalance CV crosses the threshold, the next membership
+	// fence bumps the view epoch (no membership change) and the stream
+	// re-partitions with the detector's cost weights — a live rebalance
+	// of a skewed stream. Requires Plane.
+	RebalanceOnImbalance bool
+
+	// PlaneReady, when set, is called once per world rank with that
+	// rank's freshly built plane, before any fence runs — the hook
+	// cmd/worker uses to mount /debug/cluster.
+	PlaneReady func(world int, p *obscluster.Plane)
 }
 
 // TransitionStats records one membership transition (a fence-admitted
@@ -85,6 +113,14 @@ type TransitionStats struct {
 	MovedRows    int   // factor rows shipped between surviving owners
 	AbsorbedRows int   // dead ranks' rows adopted from local replicas
 	BytesSent    int64 // wire bytes of the transition, summed over ranks
+
+	// Rebalance marks an epoch bump triggered by the imbalance detector
+	// rather than a membership change: same members, new plan weights.
+	// CV is the detector statistic that fired it. Rebalances cost zero
+	// migration bytes — at fences every member already holds the full
+	// synced state, so the next step simply plans differently.
+	Rebalance bool
+	CV        float64
 }
 
 // ElasticJob drives len(snapshots) streaming steps over an elastic
@@ -142,6 +178,14 @@ func NewElasticJob(prev *dtd.State, snapshots []*tensor.Tensor, o ElasticOptions
 			return nil, fmt.Errorf("core: drain of rank %d scripted at step %d", r, s)
 		}
 	}
+	for r, h := range o.SlowRanks {
+		if r < 0 || r >= o.World || h < 0 || math.IsNaN(h) {
+			return nil, fmt.Errorf("core: scripted handicap %v on rank %d of world %d", h, r, o.World)
+		}
+	}
+	if o.RebalanceOnImbalance && o.Plane == nil {
+		return nil, errors.New("core: RebalanceOnImbalance requires a Plane config")
+	}
 	return &ElasticJob{
 		opts:      o,
 		prev:      prev,
@@ -167,13 +211,80 @@ func (j *ElasticJob) Result() (*dtd.State, float64, []TransitionStats, error) {
 	return j.final, j.finalLoss, out, nil
 }
 
-// stepOpts derives the per-step Options for a view of the given size:
-// one partition per member, so re-partitioning stays a per-member diff.
-func (j *ElasticJob) stepOpts(size int) Options {
+// stepOpts derives the per-step Options for the view: one partition per
+// member, so re-partitioning stays a per-member diff, plus the current
+// detector cost weights mapped from world ranks into view-rank order.
+func (j *ElasticJob) stepOpts(v cluster.View, rs *rankStream) Options {
 	opts := j.opts.Options
-	opts.Workers = size
-	opts.Parts = size
+	opts.Workers = v.Size()
+	opts.Parts = v.Size()
+	if rs.weightByWorld != nil {
+		rw := make([]float64, v.Size())
+		for i, world := range v.Members {
+			rw[i] = rs.weightByWorld[world]
+		}
+		opts.RankWeights = rw
+	}
 	return opts
+}
+
+// rankStream is one member's mutable stream-scope state living outside
+// the per-step jobs: its observability plane and the detector-derived
+// cost weights. Weights are keyed by world rank — the identity that
+// survives view changes — and every member's copy evolves identically
+// because it is driven only by the broadcast fence decisions (joiners
+// receive the current weights in their boot transfer).
+type rankStream struct {
+	plane         *obscluster.Plane
+	weightByWorld []float64 // nil until a rebalance first fires
+	pending       bool      // detector fired; bump the epoch at the next fence
+	cv            float64   // CV of the firing decision
+}
+
+// newRankStream builds the per-rank stream state; w is the root (world)
+// worker.
+func (j *ElasticJob) newRankStream(w *cluster.Worker) *rankStream {
+	rs := &rankStream{}
+	if j.opts.Plane != nil {
+		cfg := *j.opts.Plane
+		cfg.Detector.Arm = cfg.Detector.Arm || j.opts.RebalanceOnImbalance
+		rs.plane = obscluster.NewPlane(cfg, w.Obs(), w.Size())
+		if j.opts.PlaneReady != nil {
+			j.opts.PlaneReady(w.Rank(), rs.plane)
+		}
+	}
+	return rs
+}
+
+// obsFence runs the plane's fence round after a step's state sync. The
+// detector input is the step plan's per-rank planned load scaled by the
+// weights it was planned under — the modelled cost — so a successful
+// weighted rebalance reads as balanced and the detector re-arms only on
+// fresh skew. A fire stages the epoch bump for the next membership
+// fence and folds the broadcast weights into the world-keyed table.
+func (j *ElasticJob) obsFence(vw *cluster.Worker, v cluster.View, rs *rankStream, job *StepJob, s int) error {
+	loads := job.plan.RankLoads()
+	for i, rw := range job.opts.RankWeights {
+		loads[i] *= rw
+	}
+	dec, err := rs.plane.Fence(vw, v.Members, v.Epoch, s, loads)
+	if err != nil {
+		return err
+	}
+	if dec.Fire {
+		if rs.weightByWorld == nil {
+			rs.weightByWorld = make([]float64, j.opts.World)
+			for i := range rs.weightByWorld {
+				rs.weightByWorld[i] = 1
+			}
+		}
+		for i, world := range v.Members {
+			rs.weightByWorld[world] = dec.Weights[i]
+		}
+		rs.pending = true
+		rs.cv = dec.CV
+	}
+	return nil
 }
 
 // joinStep reports the step at which the given spare is scripted to
@@ -237,27 +348,28 @@ func (j *ElasticJob) RunWorker(w *cluster.Worker) error {
 			return err
 		}
 		vw.Obs().Counter("elastic.epochs").Add(1)
-		prev, err := j.recvBoot(vw, s)
+		rs := j.newRankStream(w)
+		prev, err := j.recvBoot(vw, s, rs)
 		if err != nil {
 			return err
 		}
-		return j.stream(w, av, vw, prev, s, true)
+		return j.stream(w, av, vw, prev, s, true, rs)
 	}
 	vw, err := w.ViewWorker(v)
 	if err != nil {
 		return err
 	}
-	return j.stream(w, v, vw, j.prev, 0, false)
+	return j.stream(w, v, vw, j.prev, 0, false, j.newRankStream(w))
 }
 
 // stream runs steps start..end on the member's current view. adopted
 // marks a joiner entering after its admission fence already ran.
-func (j *ElasticJob) stream(w *cluster.Worker, v cluster.View, vw *cluster.Worker, prev *dtd.State, start int, adopted bool) error {
+func (j *ElasticJob) stream(w *cluster.Worker, v cluster.View, vw *cluster.Worker, prev *dtd.State, start int, adopted bool, rs *rankStream) error {
 	for s := start; s < len(j.snapshots); s++ {
 		if !adopted || s > start {
 			var cont bool
 			var err error
-			v, vw, cont, err = j.fence(w, v, vw, s, prev)
+			v, vw, cont, err = j.fence(w, v, vw, s, prev, rs)
 			if err != nil {
 				return err
 			}
@@ -271,7 +383,7 @@ func (j *ElasticJob) stream(w *cluster.Worker, v cluster.View, vw *cluster.Worke
 			}
 		}
 		var err error
-		prev, v, vw, err = j.runStep(w, v, vw, prev, s)
+		prev, v, vw, err = j.runStep(w, v, vw, prev, s, rs)
 		if err != nil {
 			return err
 		}
@@ -286,9 +398,13 @@ func (j *ElasticJob) stream(w *cluster.Worker, v cluster.View, vw *cluster.Worke
 
 // fence is the between-steps membership barrier: scripted joins and
 // drains for step s are agreed on, joiners adopted and booted with the
-// synced state, drainers released. The returned bool is false when this
-// rank drained. With an empty change the fence costs nothing.
-func (j *ElasticJob) fence(w *cluster.Worker, v cluster.View, vw *cluster.Worker, s int, prev *dtd.State) (cluster.View, *cluster.Worker, bool, error) {
+// synced state, drainers released. A pending detector fire with no
+// membership change still runs the view agreement — the empty change
+// bumps the epoch, marking the re-partition boundary — at zero factor
+// traffic, since every member already holds the synced state. The
+// returned bool is false when this rank drained. With an empty change
+// and no pending rebalance the fence costs nothing.
+func (j *ElasticJob) fence(w *cluster.Worker, v cluster.View, vw *cluster.Worker, s int, prev *dtd.State, rs *rankStream) (cluster.View, *cluster.Worker, bool, error) {
 	// Drain pending membership RPCs; admission itself follows the shared
 	// script so every member fences identically without consensus on the
 	// request arrival order.
@@ -303,7 +419,11 @@ func (j *ElasticJob) fence(w *cluster.Worker, v cluster.View, vw *cluster.Worker
 			cluster.RequestDrain(w)
 		}
 	}
-	if vc.Empty() {
+	// The staged fire is consumed either way: a membership change
+	// re-partitions (with the new weights) on its own epoch bump.
+	rebalance := rs.pending && vc.Empty()
+	rs.pending = false
+	if vc.Empty() && !rebalance {
 		return v, vw, true, nil
 	}
 	next, err := cluster.AgreeView(w, v, vc)
@@ -331,7 +451,7 @@ func (j *ElasticJob) fence(w *cluster.Worker, v cluster.View, vw *cluster.Worker
 	if vw2.Rank() == 0 && len(vc.Join) > 0 {
 		base := vw2.MetricsSnapshot()
 		for _, r := range vc.Join {
-			if err := j.sendBoot(vw2, next.RankOf(r), prev); err != nil {
+			if err := j.sendBoot(vw2, next.RankOf(r), prev, rs); err != nil {
 				return v, vw, false, err
 			}
 		}
@@ -342,24 +462,34 @@ func (j *ElasticJob) fence(w *cluster.Worker, v cluster.View, vw *cluster.Worker
 			t.Step = s
 			t.Join = append([]int(nil), vc.Join...)
 			t.Leave = append([]int(nil), vc.Leave...)
+			if rebalance {
+				t.Rebalance = true
+				t.CV = rs.cv
+			}
 		})
+	}
+	if rebalance {
+		vw2.Obs().Counter("elastic.rebalances").Add(1)
 	}
 	return next, vw2, true, nil
 }
 
 // sendBoot ships the synced pre-step state to a freshly adopted joiner
-// — the only rank missing it — as one message per mode.
-func (j *ElasticJob) sendBoot(vw *cluster.Worker, to int, prev *dtd.State) error {
+// — the only rank missing it — as one message per mode, plus the
+// current detector weight table so the joiner's plans agree with every
+// incumbent's (empty when no rebalance ever fired).
+func (j *ElasticJob) sendBoot(vw *cluster.Worker, to int, prev *dtd.State, rs *rankStream) error {
 	for m, f := range prev.Factors {
 		if err := vw.Send(to, vw.StreamTagIndexed("boot", m), cluster.EncodeFloat64s(f.Data)); err != nil {
 			return err
 		}
 	}
-	return nil
+	return vw.Send(to, vw.StreamTag("boot/w"), cluster.EncodeFloat64s(rs.weightByWorld))
 }
 
-// recvBoot receives the joiner's warm-start state from view rank 0.
-func (j *ElasticJob) recvBoot(vw *cluster.Worker, s int) (*dtd.State, error) {
+// recvBoot receives the joiner's warm-start state and the detector
+// weight table from view rank 0.
+func (j *ElasticJob) recvBoot(vw *cluster.Worker, s int, rs *rankStream) (*dtd.State, error) {
 	dims := j.dimsBefore(s)
 	factors := make([]*mat.Dense, len(dims))
 	for m, d := range dims {
@@ -377,6 +507,20 @@ func (j *ElasticJob) recvBoot(vw *cluster.Worker, s int) (*dtd.State, error) {
 		factors[m] = mat.New(d, j.opts.Rank)
 		copy(factors[m].Data, vals)
 	}
+	payload, err := vw.Recv(0, vw.StreamTag("boot/w"))
+	if err != nil {
+		return nil, err
+	}
+	ww, err := cluster.DecodeFloat64s(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(ww) > 0 {
+		if len(ww) != j.opts.World {
+			return nil, fmt.Errorf("core: boot weights for %d world ranks, want %d", len(ww), j.opts.World)
+		}
+		rs.weightByWorld = ww
+	}
 	return &dtd.State{Dims: append([]int(nil), dims...), Factors: factors}, nil
 }
 
@@ -384,8 +528,8 @@ func (j *ElasticJob) recvBoot(vw *cluster.Worker, s int) (*dtd.State, error) {
 // deaths: on ErrPeerDown the survivors re-partition, migrate, and
 // restart the sweeps warm on the shrunken view. Returns the synced
 // post-step state and the (possibly changed) view.
-func (j *ElasticJob) runStep(w *cluster.Worker, v cluster.View, vw *cluster.Worker, prev *dtd.State, s int) (*dtd.State, cluster.View, *cluster.Worker, error) {
-	job, err := NewStepJob(prev, j.snapshots[s], j.stepOpts(v.Size()))
+func (j *ElasticJob) runStep(w *cluster.Worker, v cluster.View, vw *cluster.Worker, prev *dtd.State, s int, rs *rankStream) (*dtd.State, cluster.View, *cluster.Worker, error) {
+	job, err := NewStepJob(prev, j.snapshots[s], j.stepOpts(v, rs))
 	if err != nil {
 		return nil, v, vw, err
 	}
@@ -419,8 +563,14 @@ func (j *ElasticJob) runStep(w *cluster.Worker, v cluster.View, vw *cluster.Work
 			}
 		}
 		if err == nil {
+			j.chaosSlow(w, vw, job)
 			var synced *dtd.State
 			synced, err = j.syncState(vw, job, st.full)
+			if err == nil && rs.plane != nil {
+				// Observability fence: lockstep with the state sync, so
+				// every member contributes and receives the decision.
+				err = j.obsFence(vw, v, rs, job, s)
+			}
 			if err == nil {
 				if vw.Rank() == 0 && s == len(j.snapshots)-1 {
 					j.mu.Lock()
@@ -435,6 +585,23 @@ func (j *ElasticJob) runStep(w *cluster.Worker, v cluster.View, vw *cluster.Work
 			return nil, v, vw, err
 		}
 	}
+}
+
+// chaosSlow burns this rank's scripted compute handicap — extra
+// nanoseconds proportional to the planned load it was assigned —
+// inside a compute-phase span, so the plane's detector observes it as
+// genuinely slower hardware. A no-op unless the rank is scripted in
+// SlowRanks. The "/mttkrp" suffix is what routes the padding into the
+// detector's compute-time statistic (obs.PhaseOf); the "chaos/" prefix
+// keeps it distinguishable from real kernels in timelines.
+func (j *ElasticJob) chaosSlow(w, vw *cluster.Worker, job *StepJob) {
+	h := j.opts.SlowRanks[w.Rank()]
+	if h <= 0 {
+		return
+	}
+	sp := vw.Obs().Span("chaos/mttkrp")
+	defer sp.End()
+	time.Sleep(time.Duration(h * job.plan.RankLoads()[vw.Rank()]))
 }
 
 // recover handles one mid-step rank death: revoke the dead rank's
@@ -526,6 +693,11 @@ func (j *StepJob) withPlan(plan *dplan.Plan, workers int) *StepJob {
 	opts := j.opts
 	opts.Workers = workers
 	opts.Parts = workers
+	// The recovery re-plan minimises movement from the old assignment
+	// (partition.Rebalance), ignoring cost weights — and the old weights
+	// are sized for the old view anyway. The next step's fresh plan
+	// re-applies the detector's world-keyed weights via stepOpts.
+	opts.RankWeights = nil
 	return &StepJob{
 		opts:       opts,
 		newDims:    j.newDims,

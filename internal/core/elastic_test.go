@@ -198,6 +198,9 @@ func TestElasticKillAndJoinMidStream(t *testing.T) {
 	for _, d := range snaps[1].Dims {
 		wantBoot += int64(8*d*r) + int64(len("v2|boot/0")) + 8
 	}
+	// Plus the detector weight table — empty here (no rebalance has
+	// fired), so the boot/w message is tag + accounting overhead only.
+	wantBoot += int64(len("v2|boot/w")) + 8
 	if join.BytesSent != wantBoot {
 		t.Fatalf("join sent %d bytes, want %d (boot state only)", join.BytesSent, wantBoot)
 	}

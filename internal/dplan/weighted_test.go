@@ -1,0 +1,63 @@
+package dplan
+
+import (
+	"testing"
+
+	"dismastd/internal/partition"
+)
+
+func TestBuildWeightedNilMatchesBuild(t *testing.T) {
+	x := randomTensor([]int{20, 15, 10}, 400, 7)
+	a := Build(x, 3, 3, partition.MTPMethod)
+	b := BuildWeighted(x, 3, 3, partition.MTPMethod, nil)
+	for m := range a.ModePlans {
+		for i := range a.ModePlans[m].Assign {
+			if a.ModePlans[m].Assign[i] != b.ModePlans[m].Assign[i] {
+				t.Fatalf("mode %d slice %d: Build %d vs BuildWeighted(nil) %d",
+					m, i, a.ModePlans[m].Assign[i], b.ModePlans[m].Assign[i])
+			}
+		}
+	}
+	if b.Weights != nil {
+		t.Fatalf("nil-weight plan recorded weights %v", b.Weights)
+	}
+}
+
+func TestBuildWeightedShiftsLoadOffSlowWorker(t *testing.T) {
+	x := randomTensor([]int{30, 30, 30}, 2000, 3)
+	uniform := BuildWeighted(x, 3, 3, partition.MTPMethod, []float64{1, 1, 1})
+	skewed := BuildWeighted(x, 3, 3, partition.MTPMethod, []float64{1, 1, 4})
+	lu, ls := uniform.RankLoads(), skewed.RankLoads()
+	if ls[2] >= lu[2] {
+		t.Fatalf("slow worker load %v with weights, %v without — want a smaller share", ls[2], lu[2])
+	}
+	// Every entry is still planned exactly once per mode.
+	var total float64
+	for _, l := range ls {
+		total += l
+	}
+	if want := float64(x.NNZ() * x.Order()); total != want {
+		t.Fatalf("weighted rank loads sum %v, want %v", total, want)
+	}
+	if len(skewed.Weights) != 3 || skewed.Weights[2] != 4 {
+		t.Fatalf("plan weights = %v, want the build's", skewed.Weights)
+	}
+}
+
+func TestRankLoadsRoundRobinParts(t *testing.T) {
+	x := randomTensor([]int{24, 24}, 600, 11)
+	p := Build(x, 2, 4, partition.MTPMethod) // 4 partitions on 2 workers
+	loads := p.RankLoads()
+	if len(loads) != 2 {
+		t.Fatalf("%d rank loads, want 2", len(loads))
+	}
+	var want [2]float64
+	for _, mp := range p.ModePlans {
+		for part, l := range mp.Loads {
+			want[part%2] += float64(l)
+		}
+	}
+	if loads[0] != want[0] || loads[1] != want[1] {
+		t.Fatalf("RankLoads = %v, want %v", loads, want)
+	}
+}

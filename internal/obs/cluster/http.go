@@ -1,0 +1,45 @@
+package obscluster
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the cluster-plane debug endpoints:
+//
+//	/debug/cluster          — the aggregated Snapshot as JSON
+//	/debug/cluster/timeline — the merged cluster timeline as JSONL
+//
+// get is called per request so the plane can be constructed lazily
+// (workers build it when the first stream starts); until it returns
+// non-nil the endpoints answer 503. Reads take the aggregator's read
+// lock, so scraping during a fence sees either the whole fence or none
+// of it — never a torn table.
+func Handler(get func() *Plane) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		p := get()
+		if p == nil {
+			http.Error(w, "cluster plane not running", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(p.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/cluster/timeline", func(w http.ResponseWriter, _ *http.Request) {
+		p := get()
+		if p == nil {
+			http.Error(w, "cluster plane not running", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := p.WriteTimelineJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,218 @@
+package obscluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dismastd/internal/obs"
+)
+
+// Fence wire format (little-endian). One FenceRecord per member per
+// fence:
+//
+//	header   u32 world · i64 epoch · u32 step · f64 heapBytes ·
+//	         f64 gcPauseNs · f64 goroutines · u32 nPhases · u32 nSpans
+//	phase    u16 nameLen · name · i64 count · i64 totalNs      (deltas)
+//	span     u16 nameLen · name · i64 epoch · i32 snapshot ·
+//	         i32 iter · i64 startNs · i64 durNs
+//
+// The decision reply is a fixed header plus the per-member weights:
+//
+//	u8 flags (bit0 suggested · bit1 fire) · f64 cv · f64 loadCV ·
+//	f64 durCV · u32 nWeights · nWeights × f64
+//
+// Every size is exactly computable from the contents, which is what the
+// byte-accounting test asserts against the transport counters.
+const (
+	recordHeaderSize  = 4 + 8 + 4 + 8*3 + 4 + 4
+	phaseEntryFixed   = 2 + 8 + 8
+	spanEntryFixed    = 2 + 8 + 4 + 4 + 8 + 8
+	decisionFixedSize = 1 + 8*3 + 4
+)
+
+// phaseWireSize returns one phase delta's encoded size.
+func phaseWireSize(name string) int { return phaseEntryFixed + len(name) }
+
+// spanWireSize returns one span event's encoded size.
+func spanWireSize(name string) int { return spanEntryFixed + len(name) }
+
+// decisionSize returns the decision payload size for n weights.
+func decisionSize(n int) int { return decisionFixedSize + 8*n }
+
+// reporter is the rank-side half of the fence: it snapshots this rank's
+// tracer deltas, runtime gauges, and fresh spans into reusable scratch,
+// then encodes them into a pooled buffer. All fields are single-
+// goroutine (the rank's worker loop).
+type reporter struct {
+	sampler    *obs.RuntimeSampler
+	heap       *obs.Gauge
+	gcPause    *obs.Gauge
+	goroutines *obs.Gauge
+
+	spanCap int
+	prev    map[string]obs.PhaseStat
+	cur     []obs.PhaseStat
+	deltas  []obs.PhaseStat
+	spans   []obs.SpanEvent
+	spanSeq uint64
+	pending []int
+}
+
+func newReporter(o *obs.Obs, spanCap int) *reporter {
+	var reg *obs.Registry
+	if o != nil {
+		reg = o.Reg
+	}
+	return &reporter{
+		sampler:    obs.NewRuntimeSampler(reg),
+		heap:       o.Gauge("runtime.heap.bytes"),
+		gcPause:    o.Gauge("runtime.gc.pause.ns"),
+		goroutines: o.Gauge("runtime.goroutines"),
+		spanCap:    spanCap,
+		prev:       make(map[string]obs.PhaseStat),
+	}
+}
+
+// collect samples the runtime gauges and refreshes the delta scratch
+// from the tracer. Steady state allocates nothing: the scratch slices
+// are reused and the prev map only grows on first sight of a phase.
+func (r *reporter) collect(tr *obs.Tracer) {
+	r.sampler.Sample()
+	r.cur = tr.AppendPhases(r.cur[:0])
+	r.deltas = r.deltas[:0]
+	for _, ps := range r.cur {
+		prev := r.prev[ps.Name]
+		d := obs.PhaseStat{Name: ps.Name, Count: ps.Count - prev.Count, Total: ps.Total - prev.Total}
+		if d.Count > 0 {
+			r.deltas = append(r.deltas, d)
+		}
+		r.prev[ps.Name] = ps
+	}
+	r.spans, r.spanSeq = tr.AppendEventsSince(r.spanSeq, r.spans[:0])
+	if len(r.spans) > r.spanCap {
+		r.spans = r.spans[len(r.spans)-r.spanCap:]
+	}
+}
+
+// encodedSize returns the exact record size for the current scratch.
+func (r *reporter) encodedSize() int {
+	n := recordHeaderSize
+	for _, ps := range r.deltas {
+		n += phaseWireSize(ps.Name)
+	}
+	for _, ev := range r.spans {
+		n += spanWireSize(ev.Name)
+	}
+	return n
+}
+
+// encodeInto writes the record into buf, which must be exactly
+// encodedSize() long.
+func (r *reporter) encodeInto(buf []byte, world int, epoch int64, step int) {
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], uint32(world))
+	le.PutUint64(buf[4:], uint64(epoch))
+	le.PutUint32(buf[12:], uint32(step))
+	le.PutUint64(buf[16:], math.Float64bits(r.heap.Value()))
+	le.PutUint64(buf[24:], math.Float64bits(r.gcPause.Value()))
+	le.PutUint64(buf[32:], math.Float64bits(r.goroutines.Value()))
+	le.PutUint32(buf[40:], uint32(len(r.deltas)))
+	le.PutUint32(buf[44:], uint32(len(r.spans)))
+	off := recordHeaderSize
+	for _, ps := range r.deltas {
+		le.PutUint16(buf[off:], uint16(len(ps.Name)))
+		off += 2
+		off += copy(buf[off:], ps.Name)
+		le.PutUint64(buf[off:], uint64(ps.Count))
+		le.PutUint64(buf[off+8:], uint64(ps.Total))
+		off += 16
+	}
+	for _, ev := range r.spans {
+		le.PutUint16(buf[off:], uint16(len(ev.Name)))
+		off += 2
+		off += copy(buf[off:], ev.Name)
+		le.PutUint64(buf[off:], uint64(ev.Epoch))
+		le.PutUint32(buf[off+8:], uint32(ev.Snapshot))
+		le.PutUint32(buf[off+12:], uint32(ev.Iter))
+		le.PutUint64(buf[off+16:], uint64(ev.Start))
+		le.PutUint64(buf[off+24:], uint64(ev.Dur))
+		off += 32
+	}
+	if off != len(buf) {
+		panic(fmt.Sprintf("obscluster: encoded %d bytes into a %d-byte record", off, len(buf)))
+	}
+}
+
+// Decision is the coordinator's verdict for one fence, broadcast to
+// every member so all ranks plan the next step identically.
+type Decision struct {
+	// Suggested reports the CV crossed the detector threshold this
+	// fence (whatever the cooldown or arming state).
+	Suggested bool
+	// Fire asks the elastic driver to run a fence-time rebalance: bump
+	// the view epoch and re-partition the next step with Weights.
+	Fire bool
+	// CV is max(LoadCV, DurCV) — the gauge the threshold compares.
+	CV     float64
+	LoadCV float64 // CV of the EWMA'd planned per-rank loads
+	DurCV  float64 // CV of the EWMA'd measured per-rank compute time
+	// Weights are the per-member (view-rank order) cost weights for
+	// partition.WeightedLPT: measured ns per planned nnz, normalised,
+	// snapped to uniform inside the noise band. Aliases detector (or
+	// decode) scratch — copy before keeping past the next Fence.
+	Weights []float64
+}
+
+func encodeDecision(buf []byte, d Decision) {
+	le := binary.LittleEndian
+	var flags byte
+	if d.Suggested {
+		flags |= 1
+	}
+	if d.Fire {
+		flags |= 2
+	}
+	buf[0] = flags
+	le.PutUint64(buf[1:], math.Float64bits(d.CV))
+	le.PutUint64(buf[9:], math.Float64bits(d.LoadCV))
+	le.PutUint64(buf[17:], math.Float64bits(d.DurCV))
+	le.PutUint32(buf[25:], uint32(len(d.Weights)))
+	off := decisionFixedSize
+	for _, w := range d.Weights {
+		le.PutUint64(buf[off:], math.Float64bits(w))
+		off += 8
+	}
+	if off != len(buf) {
+		panic(fmt.Sprintf("obscluster: encoded %d bytes into a %d-byte decision", off, len(buf)))
+	}
+}
+
+// decodeDecision parses a decision payload, appending the weights into
+// *scratch (reset first) so the steady state allocates nothing.
+func decodeDecision(buf []byte, scratch *[]float64) (Decision, error) {
+	if len(buf) < decisionFixedSize {
+		return Decision{}, fmt.Errorf("obscluster: decision payload %d bytes, want >= %d", len(buf), decisionFixedSize)
+	}
+	le := binary.LittleEndian
+	d := Decision{
+		Suggested: buf[0]&1 != 0,
+		Fire:      buf[0]&2 != 0,
+		CV:        math.Float64frombits(le.Uint64(buf[1:])),
+		LoadCV:    math.Float64frombits(le.Uint64(buf[9:])),
+		DurCV:     math.Float64frombits(le.Uint64(buf[17:])),
+	}
+	n := int(le.Uint32(buf[25:]))
+	if len(buf) != decisionSize(n) {
+		return Decision{}, fmt.Errorf("obscluster: decision payload %d bytes for %d weights", len(buf), n)
+	}
+	ws := (*scratch)[:0]
+	off := decisionFixedSize
+	for i := 0; i < n; i++ {
+		ws = append(ws, math.Float64frombits(le.Uint64(buf[off:])))
+		off += 8
+	}
+	*scratch = ws
+	d.Weights = ws
+	return d, nil
+}

@@ -5,22 +5,34 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"sync"
 )
+
+// publishRuntimeVars adds the runtime figures expvar's built-in
+// memstats export lacks (goroutine count) to /debug/vars. expvar's
+// namespace is process-global and Publish panics on duplicates, so this
+// runs once regardless of how many handlers are built.
+var publishRuntimeVars = sync.OnceFunc(func() {
+	expvar.Publish("goroutines", expvar.Func(func() any { return runtime.NumGoroutine() }))
+})
 
 // Handler returns the debug mux for a live bundle, the backing for
 // cmd/worker's -debug-addr listener:
 //
+//	/metrics          the registry snapshot in Prometheus text format
 //	/debug/pprof/...  net/http/pprof (profile, heap, goroutine, ...)
 //	/debug/metrics    the registry snapshot as indented JSON
 //	/debug/phases     per-phase timing aggregates as JSON
 //	/debug/trace      the span ring as JSONL, oldest-first
-//	/debug/vars       expvar (cmdline, memstats)
+//	/debug/vars       expvar (cmdline, memstats, goroutines)
 //
 // The mux serves whatever the bundle has accumulated since creation —
 // for a TCP worker that is the node's whole lifetime, across steps.
 // Nothing here authenticates: bind loopback or firewall the port (see
 // DESIGN.md, "Observability").
 func Handler(o *Obs) http.Handler {
+	publishRuntimeVars()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -28,6 +40,12 @@ func Handler(o *Obs) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := o.Reg.Snapshot().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := o.Reg.Snapshot().WriteJSON(w); err != nil {

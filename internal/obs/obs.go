@@ -60,6 +60,13 @@ func (o *Obs) SetSnapshot(snap int) {
 	}
 }
 
+// SetEpoch stamps subsequent spans with the cluster view epoch.
+func (o *Obs) SetEpoch(epoch int64) {
+	if o != nil {
+		o.Trace.SetEpoch(epoch)
+	}
+}
+
 // SetIter stamps subsequent spans with the ALS sweep index.
 func (o *Obs) SetIter(iter int) {
 	if o != nil {

@@ -20,6 +20,7 @@ const DefaultTraceCapacity = 4096
 type SpanEvent struct {
 	Name     string        `json:"name"`
 	Rank     int           `json:"rank"`
+	Epoch    int64         `json:"epoch"`
 	Snapshot int           `json:"snapshot"`
 	Iter     int           `json:"iter"`
 	Start    time.Duration `json:"start_ns"`
@@ -55,6 +56,7 @@ type Tracer struct {
 	total  uint64 // spans ever recorded; ring index = total % len(ring)
 	phases map[string]*PhaseStat
 	rank   int
+	vepoch int64 // cluster view epoch (elastic membership)
 	snap   int
 	iter   int
 }
@@ -79,6 +81,19 @@ func (t *Tracer) SetRank(rank int) {
 	}
 	t.mu.Lock()
 	t.rank = rank
+	t.mu.Unlock()
+}
+
+// SetEpoch stamps subsequent spans with the cluster view epoch, so
+// timelines recorded before and after an elastic membership transition
+// (or an imbalance-triggered rebalance) are distinguishable in the
+// exported JSONL.
+func (t *Tracer) SetEpoch(epoch int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.vepoch = epoch
 	t.mu.Unlock()
 }
 
@@ -130,6 +145,7 @@ func (s Span) End() {
 	ev := &t.ring[t.total%uint64(len(t.ring))]
 	ev.Name = s.name
 	ev.Rank = t.rank
+	ev.Epoch = t.vepoch
 	ev.Snapshot = t.snap
 	ev.Iter = t.iter
 	ev.Start = s.begin.Sub(t.epoch)
@@ -197,6 +213,49 @@ func (t *Tracer) EventsSince(seq uint64) []SpanEvent {
 		return nil
 	}
 	return evs[seq-oldest:]
+}
+
+// AppendEventsSince appends retained spans recorded at or after
+// sequence number seq into dst and returns the extended slice plus the
+// tracer's current sequence number (the seq to pass next time). Unlike
+// EventsSince it reuses the caller's backing array, so a steady-state
+// caller that hands back a slice of sufficient capacity allocates
+// nothing — the fence-time gather path depends on this.
+func (t *Tracer) AppendEventsSince(seq uint64, dst []SpanEvent) ([]SpanEvent, uint64) {
+	if t == nil {
+		return dst, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.ring))
+	retained := t.total
+	if retained > n {
+		retained = n
+	}
+	oldest := t.total - retained // sequence number of the oldest retained span
+	if seq < oldest {
+		seq = oldest
+	}
+	for ; seq < t.total; seq++ {
+		dst = append(dst, t.ring[seq%n])
+	}
+	return dst, t.total
+}
+
+// AppendPhases appends a copy of every per-name aggregate into dst and
+// returns the extended slice, in no particular order (the map's). The
+// alloc-free sibling of Phases for steady-state callers that reuse
+// their slice and don't need the sorted view.
+func (t *Tracer) AppendPhases(dst []PhaseStat) []PhaseStat {
+	if t == nil {
+		return dst
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ps := range t.phases {
+		dst = append(dst, *ps)
+	}
+	return dst
 }
 
 // Phases returns the per-name aggregates sorted by name.

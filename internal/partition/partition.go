@@ -302,3 +302,92 @@ func ImbalanceStdDev(loads []int64) float64 {
 	}
 	return math.Sqrt(ss/float64(len(loads))) / mean
 }
+
+// ImbalanceCV is ImbalanceStdDev over float64 loads — the same
+// coefficient-of-variation statistic, arithmetic step for step, so the
+// imbalance detector's fence-time reading of measured per-rank costs is
+// directly comparable to the planning-time partition.modeN.cv gauges.
+// Allocation-free, as the detector runs it every step fence.
+func ImbalanceCV(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range loads {
+		sum += l
+	}
+	mean := sum / float64(len(loads))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, l := range loads {
+		d := l - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(loads))) / mean
+}
+
+// WeightedLPT partitions one mode's slice histogram onto p partitions
+// whose unit costs differ: partition q processes one nnz in weights[q]
+// time, so its completion time for load L is weights[q]·L. The greedy
+// walks slices by descending nnz and gives each to the partition with
+// the smallest resulting weighted completion — plain LPT (≈ MTP) when
+// the weights are uniform, and a speed-aware plan when they are the
+// measured per-rank costs the imbalance detector broadcasts. Zero-nnz
+// slices spread round-robin by slice count, exactly as in MTP and for
+// the same reason. Weights must be positive and one per partition.
+func WeightedLPT(slices []int64, weights []float64, p int) *ModePlan {
+	checkParts(len(slices), p)
+	if len(weights) != p {
+		panic(fmt.Sprintf("partition: %d weights for %d partitions", len(weights), p))
+	}
+	for q, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			panic(fmt.Sprintf("partition: weight[%d] = %v, want positive finite", q, w))
+		}
+	}
+	order := make([]int, len(slices))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if slices[order[x]] != slices[order[y]] {
+			return slices[order[x]] > slices[order[y]]
+		}
+		return order[x] < order[y] // deterministic tie-break
+	})
+	assign := make([]int32, len(slices))
+	loads := make([]int64, p)
+	counts := make([]int, p)
+	zeroFrom := len(order)
+	for pos, i := range order {
+		a := slices[i]
+		if a == 0 {
+			zeroFrom = pos
+			break
+		}
+		best := 0
+		bestCost := weights[0] * float64(loads[0]+a)
+		for q := 1; q < p; q++ {
+			cost := weights[q] * float64(loads[q]+a)
+			if cost < bestCost || (cost == bestCost && counts[q] < counts[best]) {
+				best, bestCost = q, cost
+			}
+		}
+		assign[i] = int32(best)
+		loads[best] += a
+		counts[best]++
+	}
+	for _, i := range order[zeroFrom:] {
+		min := 0
+		for q := 1; q < p; q++ {
+			if counts[q] < counts[min] {
+				min = q
+			}
+		}
+		assign[i] = int32(min)
+		counts[min]++
+	}
+	return &ModePlan{Parts: p, Assign: assign, Loads: loads}
+}
