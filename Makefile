@@ -12,7 +12,7 @@ NUMERIC_PKGS = ./internal/par/... ./internal/mat/... ./internal/mttkrp/... \
 	./internal/layout/... ./internal/cp/... ./internal/dtd/... \
 	./internal/dmsmg/... ./internal/completion/... ./internal/onlinecp/...
 
-.PHONY: all build test vet race check bench bench-comm bench-obs bench-paper bench-par profile clean
+.PHONY: all build test vet race check bench bench-comm bench-obs bench-paper bench-par bench-serve profile clean
 
 all: check
 
@@ -75,6 +75,17 @@ bench-par:
 	$(GO) test -bench='BenchmarkParallel' -benchtime=5x -run '^$$' \
 		./internal/bench/... \
 		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json
+
+# Serving front-end benchmark: one writer streams event micro-batches
+# over HTTP while 1/4/8 reader clients run top-K and reconstruction
+# queries against the epoch-swapped snapshots. Extra columns carry the
+# ingest throughput (events_per_sec) and the query latency quantiles;
+# benchjson derives query_tail_p99_over_p50 and the clients=N
+# query_scaling_vs_1client read-concurrency column.
+bench-serve:
+	$(GO) test -bench='BenchmarkServe' -benchtime=5x -run '^$$' \
+		./cmd/worker/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_serve.json
 
 # CPU and heap profiles of the distributed step on the in-process
 # cluster; inspect with `$(GO) tool pprof cpu.prof`.

@@ -109,6 +109,7 @@ func procsSuffix(name string) int {
 var (
 	threadsSeg = regexp.MustCompile(`threads=(\d+)`)
 	layoutSeg  = regexp.MustCompile(`layout=(\w+)`)
+	clientsSeg = regexp.MustCompile(`clients=(\d+)`)
 )
 
 // addSpeedups annotates every row whose name carries a "threads=N"
@@ -120,6 +121,30 @@ var (
 func addSpeedups(rows []Row) {
 	derive(rows, threadsSeg, "1", "speedup_vs_1")
 	derive(rows, layoutSeg, "coo", "speedup_vs_coo")
+}
+
+// addClientScaling annotates every row carrying a "clients=N" name
+// segment and a queries_per_sec metric with query_scaling_vs_1client:
+// the row's own throughput divided by the matching clients=1 row's —
+// the read-path concurrency scaling BENCH_serve.json tracks. Perfect
+// scaling is N; a flat line means readers serialize somewhere.
+func addClientScaling(rows []Row) {
+	key := func(r Row) string {
+		return r.Package + "|" + clientsSeg.ReplaceAllString(r.Name, "*")
+	}
+	base := map[string]float64{}
+	for _, r := range rows {
+		if m := clientsSeg.FindStringSubmatch(r.Name); m != nil && m[1] == "1" {
+			base[key(r)] = r.Extra["queries_per_sec"]
+		}
+	}
+	for i := range rows {
+		r := &rows[i]
+		qps := r.Extra["queries_per_sec"]
+		if b, ok := base[key(*r)]; ok && b > 0 && qps > 0 && clientsSeg.MatchString(r.Name) {
+			r.Extra["query_scaling_vs_1client"] = qps / b
+		}
+	}
 }
 
 // addTailRatios derives <phase>_tail_p99_over_p50 for every phase that
@@ -216,6 +241,7 @@ func main() {
 	}
 	addSpeedups(doc.Results)
 	addTailRatios(doc.Results)
+	addClientScaling(doc.Results)
 	if doc.Meta.GOMAXPROCS == 0 {
 		// No -N name suffix (GOMAXPROCS=1 runs omit it, or no rows):
 		// fall back to this process, which `make bench*` runs on the

@@ -130,3 +130,25 @@ func TestAddLayoutSpeedups(t *testing.T) {
 		t.Fatalf("mixed row thread speedup %v, want 2", got)
 	}
 }
+
+func TestAddClientScaling(t *testing.T) {
+	rows := []Row{
+		{Package: "p", Name: "BenchmarkServe/clients=1-8", NsPerOp: 100, Extra: map[string]float64{"queries_per_sec": 5000}},
+		{Package: "p", Name: "BenchmarkServe/clients=4-8", NsPerOp: 120, Extra: map[string]float64{"queries_per_sec": 17500}},
+		{Package: "p", Name: "BenchmarkServe/clients=8-8", NsPerOp: 150}, // crashed reader: no qps metric
+		{Package: "p", Name: "BenchmarkStepLocal-8", NsPerOp: 999},      // no clients segment
+	}
+	addClientScaling(rows)
+	if got := rows[0].Extra["query_scaling_vs_1client"]; got != 1 {
+		t.Fatalf("clients=1 scaling %v, want 1", got)
+	}
+	if got := rows[1].Extra["query_scaling_vs_1client"]; got != 3.5 {
+		t.Fatalf("clients=4 scaling %v, want 3.5", got)
+	}
+	if _, ok := rows[2].Extra["query_scaling_vs_1client"]; ok {
+		t.Fatal("scaling derived without a queries_per_sec metric")
+	}
+	if _, ok := rows[3].Extra["query_scaling_vs_1client"]; ok {
+		t.Fatal("scaling on a row without a clients segment")
+	}
+}

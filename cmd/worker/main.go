@@ -22,6 +22,10 @@
 //
 // A second invocation can still pass -prev state.gob and the next
 // snapshot to perform an incremental streaming step across processes.
+//
+// A third mode, -serve-http, skips files and clusters entirely: one
+// process ingests events over HTTP and answers reconstruction and
+// top-K queries from epoch-swapped factor snapshots (see serve.go).
 package main
 
 import (
@@ -35,12 +39,15 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"dismastd"
 	"dismastd/internal/cluster"
 	"dismastd/internal/core"
 	"dismastd/internal/dtd"
@@ -112,6 +119,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	serve := fs.String("serve", "", "rendezvous mode: listen address (e.g. 127.0.0.1:9000)")
+	serveHTTP := fs.String("serve-http", "", "serve mode: run the online ingest/query front end on this address (e.g. 127.0.0.1:8080)")
+	statePath := fs.String("state", "", "serve mode: model checkpoint path — resumed at start if present, written on shutdown")
+	sweepEvery := fs.Int("sweep-every", 4096, "serve mode: run the drift-backstop full ALS sweep once this many events are pending (0 = only on /flush and shutdown)")
+	workers := fs.Int("workers", 1, "serve mode: decomposition engine workers (1 = centralized DTD, >1 = in-process distributed DisMASTD)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "serve mode: bound on draining in-flight requests at shutdown")
 	size := fs.Int("size", 0, "rendezvous mode: cluster size")
 	joinWindow := fs.Duration("join-window", 0, "rendezvous mode: bound on total cluster formation time (0 = none)")
 	join := fs.String("join", "", "worker mode: rendezvous address to join")
@@ -147,6 +159,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	switch {
+	case *serveHTTP != "":
+		if *serve != "" || *join != "" {
+			return fmt.Errorf("-serve-http is exclusive with -serve and -join")
+		}
+		cfg := serveConfig{
+			addr:      *serveHTTP,
+			statePath: *statePath,
+			opts: dismastd.Options{
+				Rank: *rank, MaxIters: *iters, ForgettingFactor: *mu, Seed: *seed,
+				Workers: *workers, Threads: resolveThreads(*threads), Layout: *layoutFlag,
+				SweepEvery: *sweepEvery,
+			},
+			drainTimeout: *drainTimeout,
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		return runServe(cfg, stdout, stderr, sig)
 	case *serve != "":
 		if *size <= 0 {
 			return fmt.Errorf("-serve requires -size")
@@ -493,15 +523,22 @@ func parseRankSteps(s string) (map[int]int, error) {
 // until the returned server is closed. The endpoints carry no
 // authentication; addr should stay on loopback or a trusted network.
 func startDebugServer(addr string, o *obs.Obs, getPlane func() *obscluster.Plane) (*http.Server, net.Addr, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, nil, err
-	}
 	mux := http.NewServeMux()
 	ch := obscluster.Handler(getPlane)
 	mux.Handle("/debug/cluster", ch)
 	mux.Handle("/debug/cluster/", ch)
 	mux.Handle("/", obs.Handler(o))
+	return startHTTPServer(addr, mux)
+}
+
+// startHTTPServer binds addr (":0" picks a free port) and serves mux in
+// the background — the shared listener bring-up for the debug endpoints
+// and the serving front end.
+func startHTTPServer(addr string, mux *http.ServeMux) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return srv, ln.Addr(), nil

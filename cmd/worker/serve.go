@@ -1,0 +1,406 @@
+// Serve mode: a single-process online front end over the streaming
+// decomposer. Instead of reading snapshot files, the worker listens
+// for events over HTTP and answers reconstruction and top-K queries
+// from the live factors:
+//
+//	worker -serve-http 127.0.0.1:8080 -rank 8 -sweep-every 4096 -state model.gob
+//
+//	curl -X POST -d '[{"coords":[3,7,1],"value":4.5}]' http://127.0.0.1:8080/ingest
+//	curl 'http://127.0.0.1:8080/predict?at=3,7,1'
+//	curl 'http://127.0.0.1:8080/topk?mode=1&at=3,_,1&k=5'
+//	curl 'http://127.0.0.1:8080/stats'
+//
+// Writes (ingest, flush) are serialized on the stream; queries never
+// touch it. Every boundary that changes the factors publishes a cloned,
+// read-only snapshot behind an atomic pointer — epoch-swapped, so any
+// number of concurrent readers score against a consistent model while
+// the next micro-batch lands. On SIGTERM the listener stops accepting,
+// in-flight requests drain, pending events are flushed, and the final
+// checkpoint is written to -state before the process exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dismastd"
+	"dismastd/internal/mat"
+	"dismastd/internal/obs"
+)
+
+// serveConfig carries the parsed serve-mode flags.
+type serveConfig struct {
+	addr         string
+	statePath    string // resumed at start if present, written on shutdown
+	opts         dismastd.Options
+	drainTimeout time.Duration
+
+	ready chan<- net.Addr // tests: receives the bound address once listening
+}
+
+// factorSnapshot is one epoch's published read-only model: deep clones
+// of the factors, swapped in atomically after every write that changes
+// them. Readers load the pointer once and score against a consistent
+// model for the whole request.
+type factorSnapshot struct {
+	epoch   int64
+	dims    []int
+	factors []*mat.Dense
+	sweeps  int // full-sweep boundaries behind this model
+	pending int // events awaiting the next sweep when published
+}
+
+// serveServer is the HTTP front end: a write-locked stream plus the
+// epoch-swapped snapshot the read paths serve from.
+type serveServer struct {
+	mu     sync.Mutex // serializes stream writes (ingest, flush, save)
+	stream *dismastd.Stream
+	snap   atomic.Pointer[factorSnapshot]
+	epoch  atomic.Int64
+
+	events  atomic.Int64
+	queries atomic.Int64
+	log     *slog.Logger
+}
+
+func newServeServer(stream *dismastd.Stream, log *slog.Logger) *serveServer {
+	s := &serveServer{stream: stream, log: log}
+	s.publishLocked() // a resumed stream has a model to serve immediately
+	return s
+}
+
+// publishLocked clones the live factors into a fresh snapshot and swaps
+// it in. Callers must hold s.mu. Before the first data it is a no-op —
+// queries answer 503 until the first flush initialises the model.
+func (s *serveServer) publishLocked() {
+	factors := s.stream.Factors()
+	if factors == nil {
+		return
+	}
+	snap := &factorSnapshot{
+		epoch:   s.epoch.Add(1),
+		dims:    append([]int(nil), s.stream.Dims()...),
+		factors: make([]*mat.Dense, len(factors)),
+		sweeps:  s.stream.Snapshots(),
+		pending: s.stream.Pending(),
+	}
+	for m, f := range factors {
+		snap.factors[m] = f.Clone()
+	}
+	s.snap.Store(snap)
+}
+
+func (s *serveServer) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/flush", s.handleFlush)
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// eventJSON is the wire form of one event.
+type eventJSON struct {
+	Coords []int   `json:"coords"`
+	Value  float64 `json:"value"`
+}
+
+// ingestResponse reports what one /ingest call did.
+type ingestResponse struct {
+	Events      int     `json:"events"`
+	RowsUpdated int64   `json:"rows_updated"`
+	Pending     int     `json:"pending"`
+	Grew        bool    `json:"grew"`
+	Dims        []int   `json:"dims"`
+	Swept       bool    `json:"swept"`
+	Loss        float64 `json:"loss,omitempty"` // set when this call swept
+	Epoch       int64   `json:"epoch"`
+}
+
+func (s *serveServer) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var raw []eventJSON
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&raw); err != nil {
+		http.Error(w, "body must be a JSON array of {coords, value}: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(raw) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	events := make([]dismastd.Event, len(raw))
+	for i, e := range raw {
+		events[i] = dismastd.Event{Coords: e.Coords, Value: e.Value}
+	}
+	s.mu.Lock()
+	rep, err := s.stream.IngestEvents(events)
+	if err != nil {
+		s.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.publishLocked()
+	resp := ingestResponse{
+		Events:      rep.Events,
+		RowsUpdated: rep.RowsUpdated,
+		Pending:     rep.Pending,
+		Grew:        rep.Grew,
+		Dims:        append([]int(nil), rep.Dims...), // rep.Dims is reused by the stream
+		Swept:       rep.Sweep != nil,
+		Epoch:       s.epoch.Load(),
+	}
+	if rep.Sweep != nil {
+		resp.Loss = rep.Sweep.Loss
+	}
+	s.mu.Unlock()
+	s.events.Add(int64(resp.Events))
+	writeJSON(w, resp)
+}
+
+func (s *serveServer) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	rep, err := s.stream.Flush()
+	if err != nil {
+		s.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.publishLocked()
+	epoch := s.epoch.Load()
+	s.mu.Unlock()
+	out := map[string]any{"swept": rep != nil, "epoch": epoch}
+	if rep != nil {
+		out["loss"] = rep.Loss
+		out["iters"] = rep.Iters
+	}
+	writeJSON(w, out)
+}
+
+// loadSnapshot answers 503 until the first model exists.
+func (s *serveServer) loadSnapshot(w http.ResponseWriter) *factorSnapshot {
+	snap := s.snap.Load()
+	if snap == nil {
+		http.Error(w, "no model yet: ingest events and flush first", http.StatusServiceUnavailable)
+	}
+	return snap
+}
+
+// parseAt parses "i,j,k" against the snapshot dims. A coordinate may be
+// "_" (wildcard) only at the position in skip (pass -1 for none).
+func parseAt(q string, dims []int, skip int) ([]int, error) {
+	parts := strings.Split(q, ",")
+	if len(parts) != len(dims) {
+		return nil, fmt.Errorf("at=%q has %d coordinates, model order is %d", q, len(parts), len(dims))
+	}
+	idx := make([]int, len(parts))
+	for m, p := range parts {
+		if m == skip {
+			idx[m] = 0
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v >= dims[m] {
+			return nil, fmt.Errorf("coordinate %d: %q out of range [0, %d)", m, p, dims[m])
+		}
+		idx[m] = v
+	}
+	return idx, nil
+}
+
+func (s *serveServer) handlePredict(w http.ResponseWriter, r *http.Request) {
+	snap := s.loadSnapshot(w)
+	if snap == nil {
+		return
+	}
+	idx, err := parseAt(r.URL.Query().Get("at"), snap.dims, -1)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.queries.Add(1)
+	writeJSON(w, map[string]any{"epoch": snap.epoch, "at": idx, "value": dismastd.Predict(snap.factors, idx)})
+}
+
+// topKResult is one scored row of the target mode.
+type topKResult struct {
+	Index int     `json:"index"`
+	Score float64 `json:"score"`
+}
+
+func (s *serveServer) handleTopK(w http.ResponseWriter, r *http.Request) {
+	snap := s.loadSnapshot(w)
+	if snap == nil {
+		return
+	}
+	q := r.URL.Query()
+	mode, err := strconv.Atoi(q.Get("mode"))
+	if err != nil || mode < 0 || mode >= len(snap.dims) {
+		http.Error(w, fmt.Sprintf("mode=%q out of range [0, %d)", q.Get("mode"), len(snap.dims)), http.StatusBadRequest)
+		return
+	}
+	k := 10
+	if ks := q.Get("k"); ks != "" {
+		if k, err = strconv.Atoi(ks); err != nil || k <= 0 {
+			http.Error(w, "k must be a positive integer", http.StatusBadRequest)
+			return
+		}
+	}
+	idx, err := parseAt(q.Get("at"), snap.dims, mode)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Collapse the fixed modes into one rank-length weight vector, then
+	// score every row of the target mode with a single dot product.
+	rank := snap.factors[0].Cols
+	weights := make([]float64, rank)
+	for c := range weights {
+		weights[c] = 1
+	}
+	for m, f := range snap.factors {
+		if m == mode {
+			continue
+		}
+		row := f.Row(idx[m])
+		for c := range weights {
+			weights[c] *= row[c]
+		}
+	}
+	target := snap.factors[mode]
+	results := make([]topKResult, target.Rows)
+	for i := 0; i < target.Rows; i++ {
+		row := target.Row(i)
+		score := 0.0
+		for c, wc := range weights {
+			score += wc * row[c]
+		}
+		results[i] = topKResult{Index: i, Score: score}
+	}
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Score != results[b].Score {
+			return results[a].Score > results[b].Score
+		}
+		return results[a].Index < results[b].Index
+	})
+	if k > len(results) {
+		k = len(results)
+	}
+	s.queries.Add(1)
+	writeJSON(w, map[string]any{"epoch": snap.epoch, "mode": mode, "results": results[:k]})
+}
+
+func (s *serveServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{
+		"events":  s.events.Load(),
+		"queries": s.queries.Load(),
+		"epoch":   s.epoch.Load(),
+	}
+	if snap := s.snap.Load(); snap != nil {
+		out["dims"] = snap.dims
+		out["sweeps"] = snap.sweeps
+		out["pending"] = snap.pending
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// saveStreamCheckpoint writes the stream's checkpoint with a temp-file
+// rename, like the worker's per-step checkpoints: a crash mid-write
+// never leaves a truncated model behind. Save flushes pending events
+// first, so the file always sits on a sweep boundary.
+func saveStreamCheckpoint(path string, stream *dismastd.Stream) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := stream.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// runServe runs the serving front end until sig delivers a shutdown
+// signal, then drains and checkpoints. The injectable channel is what
+// makes graceful shutdown testable in-process.
+func runServe(cfg serveConfig, stdout, stderr io.Writer, sig <-chan os.Signal) error {
+	logger := obs.NewLogger(stderr, slog.LevelInfo)
+	stream := dismastd.NewStream(cfg.opts)
+	if cfg.statePath != "" {
+		f, err := os.Open(cfg.statePath)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh start; the path is written on shutdown.
+		case err != nil:
+			return fmt.Errorf("open state: %w", err)
+		default:
+			stream, err = dismastd.ResumeStream(f, cfg.opts)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("resume %s: %w", cfg.statePath, err)
+			}
+			logger.Info("resumed model", "path", cfg.statePath, "dims", fmt.Sprint(stream.Dims()), "sweeps", stream.Snapshots())
+		}
+	}
+	srv := newServeServer(stream, logger)
+	httpSrv, addr, err := startHTTPServer(cfg.addr, srv.mux())
+	if err != nil {
+		return fmt.Errorf("serve listener: %w", err)
+	}
+	fmt.Fprintf(stdout, "serving on %s\n", addr)
+	logger.Info("serving", "addr", addr.String())
+	if cfg.ready != nil {
+		cfg.ready <- addr
+	}
+
+	<-sig
+	logger.Info("shutdown: draining in-flight requests")
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		// Drain overran the timeout; the final checkpoint still runs.
+		logger.Warn("drain incomplete", "err", err)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if cfg.statePath != "" && (stream.Factors() != nil || stream.Pending() > 0) {
+		if err := saveStreamCheckpoint(cfg.statePath, stream); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		logger.Info("final checkpoint written", "path", cfg.statePath, "sweeps", stream.Snapshots())
+	}
+	logger.Info("serve shut down", "events", srv.events.Load(), "queries", srv.queries.Load())
+	return nil
+}

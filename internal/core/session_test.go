@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"dismastd/internal/cluster"
+	"dismastd/internal/obs"
+	obscluster "dismastd/internal/obs/cluster"
+	"dismastd/internal/partition"
+	"dismastd/internal/tensor"
+)
+
+// TestSessionMatchesStepBitwise drives a snapshot sequence through one
+// persistent Session and through per-snapshot Step calls: the factors
+// must agree bitwise at every step — the invariant that lets the
+// event path reuse a session at micro-batch granularity without
+// perturbing the bulk path's goldens.
+func TestSessionMatchesStepBitwise(t *testing.T) {
+	full := sparseRandom([]int{24, 20, 16}, 1200, 3)
+	seq, err := tensor.NewSequence(full, [][]int{{18, 15, 12}, {21, 18, 14}, {24, 20, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := initState(t, seq.Snapshot(0), 3, 5)
+	sess := NewSession(3)
+	sessState, stepState := prev, prev
+	for i := 1; i < seq.Len(); i++ {
+		opts := Options{Rank: 3, MaxIters: 4, Tol: 0, Workers: 3, Method: partition.MTPMethod, Seed: uint64(7 + i)}
+		got, _, err := sess.Step(sessState, seq.Snapshot(i), opts)
+		if err != nil {
+			t.Fatalf("session step %d: %v", i, err)
+		}
+		want, _, err := Step(stepState, seq.Snapshot(i), opts)
+		if err != nil {
+			t.Fatalf("one-shot step %d: %v", i, err)
+		}
+		if d := relDiff(got.Factors, want.Factors); d != 0 {
+			t.Fatalf("step %d: session factors differ from one-shot Step by %v", i, d)
+		}
+		sessState, stepState = got, want
+	}
+	if sess.Steps() != seq.Len()-1 {
+		t.Fatalf("session counted %d steps, want %d", sess.Steps(), seq.Len()-1)
+	}
+}
+
+// TestSessionFenceRunsPerStep checks the fence hook fires once per
+// rank per step, sees the session's step index, and can run a
+// collective — the shape the observability plane's fence needs.
+func TestSessionFenceRunsPerStep(t *testing.T) {
+	full := sparseRandom([]int{15, 12, 10}, 500, 9)
+	seq, err := tensor.NewSequence(full, [][]int{{12, 10, 8}, {15, 12, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := initState(t, seq.Snapshot(0), 2, 1)
+	sess := NewSession(2)
+	var mu sync.Mutex
+	calls := map[int]int{}
+	sess.Fence = func(w *cluster.Worker, step int, job *StepJob) error {
+		if len(job.PlannedLoads()) != 2 {
+			t.Errorf("fence sees %d planned loads", len(job.PlannedLoads()))
+		}
+		buf := []float64{1}
+		if err := w.AllReduceSumInPlace(buf); err != nil {
+			return err
+		}
+		if buf[0] != 2 {
+			t.Errorf("fence collective summed to %v", buf[0])
+		}
+		mu.Lock()
+		calls[step]++
+		mu.Unlock()
+		return nil
+	}
+	st := prev
+	for i := 0; i < 2; i++ {
+		st, _, err = sess.Step(st, seq.Snapshot(1), Options{Rank: 2, MaxIters: 2, Tol: 0, Workers: 2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(calls) != 2 || calls[0] != 2 || calls[1] != 2 {
+		t.Fatalf("fence calls per step = %v, want 2 ranks at steps 0 and 1", calls)
+	}
+}
+
+// TestSessionFenceDrivesPlane runs the cluster observability plane's
+// fence from the session hook — the integration the micro-batch path
+// relies on: plane epochs advance with session steps, unchanged.
+func TestSessionFenceDrivesPlane(t *testing.T) {
+	full := sparseRandom([]int{15, 12, 10}, 500, 21)
+	seq, err := tensor.NewSequence(full, [][]int{{12, 10, 8}, {15, 12, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := initState(t, seq.Snapshot(0), 2, 1)
+	sess := NewSession(2)
+	planes := make([]*obscluster.Plane, 2)
+	for i := range planes {
+		planes[i] = obscluster.NewPlane(obscluster.Config{}, obs.New(), 2)
+	}
+	members := []int{0, 1}
+	sess.Fence = func(w *cluster.Worker, step int, job *StepJob) error {
+		_, ferr := planes[w.Rank()].Fence(w, members, 0, step, job.PlannedLoads())
+		return ferr
+	}
+	if _, _, err := sess.Step(prev, seq.Snapshot(1), Options{Rank: 2, MaxIters: 2, Tol: 0, Workers: 2, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if agg := planes[0].Aggregator(); agg == nil {
+		t.Fatal("rank-0 plane has no aggregator after a fence")
+	}
+}
+
+// TestSessionRejectsWorkerMismatch: a session is sized once; asking it
+// to run a differently sized step is an error, not a silent resize.
+func TestSessionRejectsWorkerMismatch(t *testing.T) {
+	full := sparseRandom([]int{10, 8, 6}, 200, 2)
+	prev := initState(t, full.Prefix([]int{8, 6, 5}), 2, 1)
+	sess := NewSession(2)
+	if _, _, err := sess.Step(prev, full, Options{Rank: 2, MaxIters: 2, Workers: 3}); err == nil {
+		t.Fatal("mismatched worker count did not error")
+	}
+}

@@ -332,30 +332,40 @@ func (it *iteration) refreshGrams(m int) {
 
 // denominators fills d1 = ∗_{k≠mode}(gram0+gram1), g0prod =
 // ∗_{k≠mode} gram0 and hprod = ∗_{k≠mode} cross — the three Hadamard
-// chains of Eq. (5) — falling back to the identity for first-order
-// tensors (no other modes).
+// chains of Eq. (5).
 func (it *iteration) denominators(mode int) {
+	eqDenominators(it.d1, it.g0prod, it.hprod, it.sum, it.gram0, it.gram1, it.cross, mode)
+}
+
+// eqDenominators is the per-mode denominator kernel of the Eq. (5)
+// update rules, shared by the whole-sweep driver (iteration) and the
+// event-granularity row updater (Updater): it fills
+// d1 = ∗_{k≠mode}(gram0+gram1), g0prod = ∗_{k≠mode} gram0 and
+// hprod = ∗_{k≠mode} cross from the cached per-mode Gram blocks,
+// falling back to the identity for first-order tensors (no other
+// modes). sum is R×R scratch.
+func eqDenominators(d1, g0prod, hprod, sum *mat.Dense, gram0, gram1, cross []*mat.Dense, mode int) {
 	first := true
-	for k := range it.full {
+	for k := range gram0 {
 		if k == mode {
 			continue
 		}
-		it.sum.Add(it.gram0[k], it.gram1[k])
+		sum.Add(gram0[k], gram1[k])
 		if first {
-			it.d1.CopyFrom(it.sum)
-			it.g0prod.CopyFrom(it.gram0[k])
-			it.hprod.CopyFrom(it.cross[k])
+			d1.CopyFrom(sum)
+			g0prod.CopyFrom(gram0[k])
+			hprod.CopyFrom(cross[k])
 			first = false
 		} else {
-			it.d1.Hadamard(it.d1, it.sum)
-			it.g0prod.Hadamard(it.g0prod, it.gram0[k])
-			it.hprod.Hadamard(it.hprod, it.cross[k])
+			d1.Hadamard(d1, sum)
+			g0prod.Hadamard(g0prod, gram0[k])
+			hprod.Hadamard(hprod, cross[k])
 		}
 	}
 	if first {
-		it.d1.SetIdentity()
-		it.g0prod.SetIdentity()
-		it.hprod.SetIdentity()
+		d1.SetIdentity()
+		g0prod.SetIdentity()
+		hprod.SetIdentity()
 	}
 }
 

@@ -22,11 +22,19 @@ var ErrCorruptState = errors.New("dtd: corrupt state")
 // nonsense:
 //
 //	4 bytes  magic "DMST"
-//	4 bytes  format version, little-endian (currently 1)
+//	4 bytes  format version, little-endian (1 or 2)
 //	8 bytes  payload length, little-endian
 //	4 bytes  CRC-32 (IEEE) of the payload, little-endian
 //	N bytes  payload: u32 order, then per mode u32 rows, u32 cols,
 //	         rows*cols float64 bit patterns — all little-endian
+//
+// Version 2 prefixes the version-1 payload with one u64: the stream's
+// step counter, so a resumed stream keeps reporting snapshot indices
+// where it left off (WriteStateSteps/ReadStateSteps). Both readers
+// accept both versions — a version-1 file reads back with step count
+// zero — but WriteState keeps emitting version-1 bytes: equal states
+// must keep producing equal files regardless of how far the writer had
+// streamed, which is what the crash-recovery byte comparisons check.
 //
 // The payload layout is deliberately not gob: gob numbers type
 // descriptors from a process-global counter, so two processes with
@@ -37,9 +45,10 @@ var ErrCorruptState = errors.New("dtd: corrupt state")
 // crash-recovery tests compare resumed and uninterrupted runs with a
 // plain byte comparison, and float64 bit patterns round-trip exactly.
 const (
-	stateMagic   = "DMST"
-	stateVersion = 1
-	stateHdrLen  = 20
+	stateMagic        = "DMST"
+	stateVersion      = 1
+	stateVersionSteps = 2
+	stateHdrLen       = 20
 )
 
 // EmptyState returns the degenerate previous state of an order-N
@@ -60,22 +69,44 @@ func EmptyState(order, rank int) *State {
 }
 
 // WriteState encodes a state as a checksummed, versioned envelope
-// around the canonical payload.
+// around the canonical payload (format version 1 — no step counter).
 func WriteState(w io.Writer, s *State) error {
-	if len(s.Factors) != len(s.Dims) {
-		return fmt.Errorf("dtd: state has %d dims, %d factors", len(s.Dims), len(s.Factors))
+	payload, err := encodeStatePayload(nil, s)
+	if err != nil {
+		return err
 	}
-	n := 4
+	return writeStateEnvelope(w, stateVersion, payload)
+}
+
+// WriteStateSteps encodes a state together with the stream's step
+// counter as a version-2 envelope.
+func WriteStateSteps(w io.Writer, s *State, steps uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], steps)
+	payload, err := encodeStatePayload(b[:], s)
+	if err != nil {
+		return err
+	}
+	return writeStateEnvelope(w, stateVersionSteps, payload)
+}
+
+// encodeStatePayload appends the canonical factor payload to prefix.
+func encodeStatePayload(prefix []byte, s *State) ([]byte, error) {
+	if len(s.Factors) != len(s.Dims) {
+		return nil, fmt.Errorf("dtd: state has %d dims, %d factors", len(s.Dims), len(s.Factors))
+	}
+	n := len(prefix) + 4
 	for _, f := range s.Factors {
 		n += 8 + 8*len(f.Data)
 	}
 	payload := make([]byte, 0, n)
+	payload = append(payload, prefix...)
 	var b [8]byte
 	binary.LittleEndian.PutUint32(b[:4], uint32(len(s.Factors)))
 	payload = append(payload, b[:4]...)
 	for m, f := range s.Factors {
 		if f == nil || f.Rows != s.Dims[m] || len(f.Data) != f.Rows*f.Cols {
-			return fmt.Errorf("dtd: factor %d inconsistent with dims %v", m, s.Dims)
+			return nil, fmt.Errorf("dtd: factor %d inconsistent with dims %v", m, s.Dims)
 		}
 		binary.LittleEndian.PutUint32(b[:4], uint32(f.Rows))
 		binary.LittleEndian.PutUint32(b[4:8], uint32(f.Cols))
@@ -85,9 +116,13 @@ func WriteState(w io.Writer, s *State) error {
 			payload = append(payload, b[:]...)
 		}
 	}
+	return payload, nil
+}
+
+func writeStateEnvelope(w io.Writer, version uint32, payload []byte) error {
 	hdr := make([]byte, stateHdrLen)
 	copy(hdr, stateMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], stateVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[16:], crc32.ChecksumIEEE(payload))
 	if _, err := w.Write(hdr); err != nil {
@@ -97,33 +132,61 @@ func WriteState(w io.Writer, s *State) error {
 	return err
 }
 
-// ReadState decodes a state written by WriteState, verifying the
+// ReadState decodes a state written by WriteState (or
+// WriteStateSteps, discarding the step counter), verifying the
 // envelope — magic, version, length, checksum — before trusting the
 // payload. Damage of any kind comes back wrapping ErrCorruptState; a
 // version from a future format is its own error, since the file may be
 // perfectly intact.
 func ReadState(r io.Reader) (*State, error) {
+	s, _, err := ReadStateSteps(r)
+	return s, err
+}
+
+// ReadStateSteps decodes a state envelope of either version and
+// returns the stream step counter it carries — zero for a version-1
+// file, which predates the counter.
+func ReadStateSteps(r io.Reader) (*State, uint64, error) {
 	hdr := make([]byte, stateHdrLen)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorruptState, err)
+		return nil, 0, fmt.Errorf("%w: truncated header: %v", ErrCorruptState, err)
 	}
 	if string(hdr[:4]) != stateMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptState, hdr[:4])
+		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorruptState, hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != stateVersion {
-		return nil, fmt.Errorf("dtd: state format version %d, this build reads %d", v, stateVersion)
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	if version != stateVersion && version != stateVersionSteps {
+		return nil, 0, fmt.Errorf("dtd: state format version %d, this build reads %d and %d", version, stateVersion, stateVersionSteps)
 	}
 	n := binary.LittleEndian.Uint64(hdr[8:])
 	want := binary.LittleEndian.Uint32(hdr[16:])
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorruptState, err)
+		return nil, 0, fmt.Errorf("%w: truncated payload: %v", ErrCorruptState, err)
 	}
 	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, fmt.Errorf("%w: checksum %08x, header says %08x", ErrCorruptState, got, want)
+		return nil, 0, fmt.Errorf("%w: checksum %08x, header says %08x", ErrCorruptState, got, want)
 	}
-	// The checksum passed, so structural damage below means the writer
-	// was broken, not the storage — still corrupt from the caller's view.
+	var steps uint64
+	if version == stateVersionSteps {
+		if len(payload) < 8 {
+			return nil, 0, fmt.Errorf("%w: step counter missing from %d-byte payload", ErrCorruptState, len(payload))
+		}
+		steps = binary.LittleEndian.Uint64(payload)
+		payload = payload[8:]
+	}
+	s, err := decodeStatePayload(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, steps, nil
+}
+
+// decodeStatePayload decodes the canonical factor payload. The
+// envelope checksum already passed, so structural damage here means
+// the writer was broken, not the storage — still corrupt from the
+// caller's view.
+func decodeStatePayload(payload []byte) (*State, error) {
 	if len(payload) < 4 {
 		return nil, fmt.Errorf("%w: payload of %d bytes", ErrCorruptState, len(payload))
 	}

@@ -78,12 +78,67 @@ func TestStateCorruptionDetected(t *testing.T) {
 // may be intact and readable by a newer build.
 func TestStateFutureVersionRejected(t *testing.T) {
 	data := encodeState(t, testState(t))
-	binary.LittleEndian.PutUint32(data[4:], stateVersion+1)
+	binary.LittleEndian.PutUint32(data[4:], stateVersionSteps+1)
 	_, err := ReadState(bytes.NewReader(data))
 	if err == nil || errors.Is(err, ErrCorruptState) {
 		t.Fatalf("future version: error = %v, want a non-corrupt version error", err)
 	}
 	if !strings.Contains(err.Error(), "version") {
 		t.Fatalf("version error does not say so: %v", err)
+	}
+}
+
+// TestStateStepsRoundTrip: the version-2 envelope carries the stream
+// step counter through a round trip, and ReadState reads it too
+// (discarding the counter).
+func TestStateStepsRoundTrip(t *testing.T) {
+	st := testState(t)
+	var buf bytes.Buffer
+	if err := WriteStateSteps(&buf, st, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, steps, err := ReadStateSteps(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 42 {
+		t.Fatalf("steps = %d, want 42", steps)
+	}
+	for m := range st.Factors {
+		if d := mat.MaxAbsDiff(got.Factors[m], st.Factors[m]); d != 0 {
+			t.Fatalf("mode %d differs by %g after round trip", m, d)
+		}
+	}
+	if alt, err := ReadState(bytes.NewReader(buf.Bytes())); err != nil || alt.Dims[0] != st.Dims[0] {
+		t.Fatalf("ReadState on a v2 envelope: %v %v", alt, err)
+	}
+}
+
+// TestStateStepsReadsV1: a version-1 checkpoint — written before the
+// counter existed — reads back through ReadStateSteps with step count
+// zero, so old checkpoint files stay loadable.
+func TestStateStepsReadsV1(t *testing.T) {
+	st := testState(t)
+	got, steps, err := ReadStateSteps(bytes.NewReader(encodeState(t, st)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 0 {
+		t.Fatalf("v1 envelope reports %d steps, want 0", steps)
+	}
+	for m := range st.Factors {
+		if d := mat.MaxAbsDiff(got.Factors[m], st.Factors[m]); d != 0 {
+			t.Fatalf("mode %d differs by %g reading v1", m, d)
+		}
+	}
+}
+
+// TestStateV1BytesUnchanged: WriteState must keep emitting version-1
+// bytes — equal states produce equal files regardless of the writer's
+// streaming position, which checkpoint byte comparisons rely on.
+func TestStateV1BytesUnchanged(t *testing.T) {
+	data := encodeState(t, testState(t))
+	if v := binary.LittleEndian.Uint32(data[4:]); v != stateVersion {
+		t.Fatalf("WriteState emits version %d, want %d", v, stateVersion)
 	}
 }

@@ -219,11 +219,30 @@ func (t *Tracker) Absorb(batch *tensor.Tensor) error {
 		}
 	}
 
+	factorsG := t.solveStreamRows(batch, newRows)
+	for m := 0; m < n; m++ {
+		if m == s {
+			continue
+		}
+		t.foldIn(batch, factorsG, m)
+	}
+	t.dims[s] = batch.Dims[s]
+	return nil
+}
+
+// solveStreamRows is Absorb's first kernel: solve the new streaming-
+// mode rows against the current non-streaming factors — their normal
+// equations involve only ΔX — and adopt the grown factor. It returns
+// the per-batch factor view (the grown streaming factor plus aliases
+// of the live factors) that the fold-in kernel consumes. Only the
+// grown factor itself is a fresh allocation; the MTTKRP and solver
+// scratch come from the tracker's workspace. Extracted from the
+// whole-batch driver so a micro-batch path can absorb a handful of
+// rows without restating the driver's bookkeeping.
+func (t *Tracker) solveStreamRows(batch *tensor.Tensor, newRows int) []*mat.Dense {
+	n := len(t.dims)
+	s := t.opts.StreamMode
 	r := t.opts.Rank
-	// 1. Solve the new streaming-mode rows against the current
-	// non-streaming factors: their normal equations involve only ΔX.
-	// Only the grown factor itself is a fresh allocation; the MTTKRP and
-	// solver scratch come from the tracker's workspace.
 	grown := mat.StackRows(t.factors[s], mat.New(newRows, r))
 	factorsG := t.factorsG
 	copy(factorsG, t.factors)
@@ -240,36 +259,35 @@ func (t *Tracker) Absorb(batch *tensor.Tensor) error {
 	t.ws.Release(mark)
 	t.factors[s] = grown
 	t.pk.GramInto(t.gramNew, newBlock) // c_newᵀ c_new
+	return factorsG
+}
 
-	// 2. Fold the batch into each P_n/Q_n pair, then refresh A_n.
-	// KR uses the just-solved streaming rows plus the factors as they
-	// were when this batch's contribution is computed (modes refreshed
-	// earlier in this loop contribute their new values, as in the
-	// published algorithm's sequential update). The P fold-in stays on
-	// the flat kernel: it accumulates onto the *live* P_n carried from
-	// previous batches, where regrouping entries would change the
-	// floating-point accumulation order.
-	for m := 0; m < n; m++ {
-		if m == s {
+// foldIn is Absorb's second kernel, for one non-streaming mode: fold
+// the batch into the mode's P_n/Q_n pair, then refresh A_n. KR uses
+// the just-solved streaming rows plus the factors as they were when
+// this batch's contribution is computed (modes refreshed earlier in
+// the driver's loop contribute their new values, as in the published
+// algorithm's sequential update). The P fold-in stays on the flat
+// kernel: it accumulates onto the *live* P_n carried from previous
+// batches, where regrouping entries would change the floating-point
+// accumulation order.
+func (t *Tracker) foldIn(batch *tensor.Tensor, factorsG []*mat.Dense, m int) {
+	n := len(t.dims)
+	s := t.opts.StreamMode
+	mttkrp.AccumulateIntoWS(t.p[m], batch, factorsG, m, t.ws)
+	t.dq.CopyFrom(t.gramNew)
+	for k := 0; k < n; k++ {
+		if k == m || k == s {
 			continue
 		}
-		mttkrp.AccumulateIntoWS(t.p[m], batch, factorsG, m, t.ws)
-		t.dq.CopyFrom(t.gramNew)
-		for k := 0; k < n; k++ {
-			if k == m || k == s {
-				continue
-			}
-			t.pk.GramInto(t.gk, factorsG[k])
-			t.dq.Hadamard(t.dq, t.gk)
-		}
-		t.q[m].Add(t.q[m], t.dq)
-		// In-place refresh: the solve reads only P_n and Q_n, and
-		// factorsG[m] already aliases t.factors[m], so later modes see
-		// the new values exactly as the sequential algorithm requires.
-		t.pk.SolveRightRidgeInto(t.factors[m], t.p[m], t.q[m])
+		t.pk.GramInto(t.gk, factorsG[k])
+		t.dq.Hadamard(t.dq, t.gk)
 	}
-	t.dims[s] = batch.Dims[s]
-	return nil
+	t.q[m].Add(t.q[m], t.dq)
+	// In-place refresh: the solve reads only P_n and Q_n, and
+	// factorsG[m] already aliases t.factors[m], so later modes see
+	// the new values exactly as the sequential algorithm requires.
+	t.pk.SolveRightRidgeInto(t.factors[m], t.p[m], t.q[m])
 }
 
 // hadamardExceptInto stores ∗_{k≠mode} grams[k] into dst, or the

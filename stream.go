@@ -3,12 +3,14 @@ package dismastd
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"dismastd/internal/core"
 	"dismastd/internal/dtd"
 	"dismastd/internal/layout"
 	"dismastd/internal/partition"
+	"dismastd/internal/tensor"
 )
 
 // Options configures a streaming decomposer.
@@ -52,6 +54,12 @@ type Options struct {
 	// bitwise identical under either — the layout changes memory
 	// traffic, never floating-point order.
 	Layout string
+
+	// SweepEvery fires the drift-backstop full ALS sweep automatically
+	// once that many events are pending. 0 (the default) sweeps only on
+	// an explicit Flush, a bulk Ingest, or Save. Bulk-only streams
+	// never consult it.
+	SweepEvery int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -67,6 +75,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Threads < 0 {
 		return o, fmt.Errorf("dismastd: Threads must be non-negative, got %d", o.Threads)
 	}
+	if o.SweepEvery < 0 {
+		return o, fmt.Errorf("dismastd: SweepEvery must be non-negative, got %d", o.SweepEvery)
+	}
 	if _, err := layout.ParseKind(o.Layout); err != nil {
 		return o, fmt.Errorf("dismastd: %v", err)
 	}
@@ -79,7 +90,16 @@ func (o Options) layoutKind() layout.Kind {
 	return k
 }
 
-// StepReport summarises what one Ingest call did.
+// Event is one streaming observation: a value at a coordinate. Events
+// outside the current mode sizes grow the tensor — the multi-aspect
+// case — with the affected modes extended to cover the coordinate.
+type Event struct {
+	Coords []int
+	Value  float64
+}
+
+// StepReport summarises what one full-sweep boundary did — a bulk
+// Ingest, or the flush of accumulated events.
 type StepReport struct {
 	Snapshot       int           // 0-based snapshot index
 	Iters          int           // ALS sweeps performed
@@ -90,40 +110,214 @@ type StepReport struct {
 	Imbalance      []float64     // distributed engine only: per-mode partition load CV
 }
 
-// Stream decomposes a multi-aspect streaming tensor snapshot by
-// snapshot. Create with NewStream, feed nested snapshots to Ingest, and
-// read the current factors or predictions at any point.
+// EventReport summarises one IngestEvents call. It is returned by
+// value and its Dims slice is reused by the stream — copy it if you
+// keep it past the next call.
+type EventReport struct {
+	Events      int         // events admitted by this call
+	RowsUpdated int64       // factor rows re-solved (bounded work actually done)
+	Pending     int         // events accumulated toward the next full sweep
+	Grew        bool        // whether this call grew any mode
+	Dims        []int       // current mode sizes after the call
+	Sweep       *StepReport // set when the drift backstop fired during this call
+	Wall        time.Duration
+}
+
+// Stream decomposes a multi-aspect streaming tensor. Create with
+// NewStream, then feed it either nested bulk snapshots (Ingest) or
+// individual events and micro-batches (IngestEvents), and read the
+// current factors or predictions at any point.
+//
+// The two paths share one advance core. Bulk Ingest runs a full ALS
+// sweep over each snapshot's newly arrived region, exactly as before.
+// IngestEvents accumulates entries into a pending region and re-solves
+// only the factor rows each micro-batch touches — bounded work per
+// event — while the pending region awaits the next full sweep: the
+// drift backstop that Flush, a bulk Ingest, Save, or the SweepEvery
+// threshold triggers. At that boundary the sweep advances from the
+// anchor (the state of the previous boundary) over the accumulated
+// entries, so a stream fed the same new-region data as events or as a
+// bulk snapshot holds bitwise-identical factors at every boundary.
+// Between boundaries the event-updated factors serve reads; events
+// landing wholly inside the anchor region refine those serving factors
+// but are superseded at the next sweep, which anchors on the region's
+// already-decomposed history (the streaming model's old-data
+// contract).
 type Stream struct {
-	opts  Options
-	state *dtd.State
-	step  int
+	opts     Options
+	vopts    Options     // resolved once by ensureOpts (never re-validated per call)
+	lk       layout.Kind // parsed once alongside vopts
+	optsErr  error
+	optsDone bool
+
+	state   *dtd.State // live factors: bulk results plus event-path row updates
+	step    int        // full-sweep boundaries completed (snapshot index)
+	updater *dtd.Updater
+	session *core.Session // persistent cluster for Workers > 1, created on first use
+
+	// Pre-Init event accumulation: before any data has been decomposed
+	// there are no factors to update, so events buffer here and the
+	// first flush runs full CP-ALS over them.
+	preOrder  int
+	preDims   []int
+	preCoords []int32
+	preVals   []float64
+
+	// Reused per-call scratch, so steady-state IngestEvents does not
+	// allocate.
+	evCoords []int32
+	evVals   []float64
+	growDims []int
+	idxBuf   []int
+	rep      EventReport
 }
 
 // NewStream returns an empty streaming decomposer. The options are
-// validated at the first Ingest.
+// validated once, at the first call that needs them.
 func NewStream(opts Options) *Stream { return &Stream{opts: opts} }
+
+// ensureOpts resolves and validates the options exactly once; every
+// later call reuses the cached resolution (and the cached error).
+func (s *Stream) ensureOpts() error {
+	if !s.optsDone {
+		s.vopts, s.optsErr = s.opts.withDefaults()
+		if s.optsErr == nil {
+			s.lk = s.vopts.layoutKind()
+		}
+		s.optsDone = true
+	}
+	return s.optsErr
+}
+
+func (s *Stream) dtdOptions(seed uint64) dtd.Options {
+	return dtd.Options{
+		Rank: s.vopts.Rank, MaxIters: s.vopts.MaxIters, Tol: s.vopts.Tol,
+		Mu: s.vopts.ForgettingFactor, Seed: seed,
+		Threads: s.vopts.Threads, Layout: s.lk,
+	}
+}
+
+func (s *Stream) coreOptions(seed uint64) core.Options {
+	return core.Options{
+		Rank: s.vopts.Rank, MaxIters: s.vopts.MaxIters, Tol: s.vopts.Tol,
+		Mu: s.vopts.ForgettingFactor, Seed: seed,
+		Workers: s.vopts.Workers, Parts: s.vopts.Parts,
+		Method:  partition.Method(s.vopts.Partitioner),
+		Threads: s.vopts.Threads, Layout: s.lk,
+	}
+}
 
 // Ingest advances the decomposition to the given snapshot, which must
 // contain every previously ingested snapshot as a prefix sub-tensor.
 // The first snapshot is decomposed with full CP-ALS; every later one
-// costs work proportional to the newly arrived data only.
+// costs work proportional to the newly arrived data only. Events still
+// pending from IngestEvents are flushed (their own sweep boundary)
+// before the snapshot's step runs.
 func (s *Stream) Ingest(snapshot *Tensor) (*StepReport, error) {
-	opts, err := s.opts.withDefaults()
-	if err != nil {
+	if err := s.ensureOpts(); err != nil {
 		return nil, err
 	}
 	if err := validateIngestTensor(snapshot); err != nil {
 		return nil, err
 	}
+	if s.pendingEvents() > 0 {
+		if _, err := s.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return s.advance(s.state, snapshot)
+}
+
+// IngestEvents admits a micro-batch of events. Coordinates outside the
+// current mode sizes grow the affected modes. Each touched factor row
+// is re-solved with the Eq. (5) row update against the pending region
+// — bounded work per event — and the batch joins the pending region
+// consumed by the next full sweep. Before any data has been
+// decomposed, events buffer until the first flush runs full CP-ALS.
+func (s *Stream) IngestEvents(events []Event) (EventReport, error) {
+	if err := s.ensureOpts(); err != nil {
+		return EventReport{}, err
+	}
+	start := time.Now()
+	s.rep = EventReport{Events: len(events), Dims: s.rep.Dims}
+	rep := &s.rep
+	if len(events) > 0 {
+		if err := s.checkEvents(events); err != nil {
+			return EventReport{}, err
+		}
+		if s.state == nil {
+			s.bufferPreInit(events)
+		} else if err := s.applyEvents(events, rep); err != nil {
+			return EventReport{}, err
+		}
+	}
+	rep.Pending = s.pendingEvents()
+	if s.vopts.SweepEvery > 0 && rep.Pending >= s.vopts.SweepEvery {
+		sr, err := s.Flush()
+		if err != nil {
+			return EventReport{}, err
+		}
+		rep.Sweep = sr
+		rep.Pending = s.pendingEvents()
+	}
+	rep.Dims = append(rep.Dims[:0], s.liveDims()...)
+	rep.Wall = time.Since(start)
+	return *rep, nil
+}
+
+// Flush runs the drift-backstop full ALS sweep over the events
+// accumulated since the last boundary, re-anchoring the stream at the
+// result. With nothing pending it is a no-op returning a nil report.
+func (s *Stream) Flush() (*StepReport, error) {
+	if err := s.ensureOpts(); err != nil {
+		return nil, err
+	}
+	if s.state == nil {
+		if len(s.preVals) == 0 {
+			return nil, fmt.Errorf("dismastd: Flush before any data")
+		}
+		b := NewBuilder(s.preDims)
+		for e := range s.preVals {
+			s.idxBuf = s.idxBuf[:0]
+			for m := 0; m < s.preOrder; m++ {
+				s.idxBuf = append(s.idxBuf, int(s.preCoords[e*s.preOrder+m]))
+			}
+			b.Append(s.idxBuf, s.preVals[e])
+		}
+		x := b.Build()
+		if x.NNZ() == 0 {
+			return nil, fmt.Errorf("dismastd: pending events cancel to an empty tensor")
+		}
+		s.preCoords, s.preVals = nil, nil
+		return s.advance(nil, x)
+	}
+	if s.updater == nil || s.updater.Pending() == 0 {
+		return nil, nil
+	}
+	// The sweep snapshot carries exactly the pending entries at the live
+	// dims: the step consumes only its complement against the anchor
+	// region and its dims, both identical to what a cumulative bulk
+	// snapshot of the same data would yield.
+	d := s.updater.Delta()
+	b := NewBuilder(s.state.Dims)
+	for e := 0; e < d.NNZ(); e++ {
+		var v float64
+		s.idxBuf, v = d.Entry(e, s.idxBuf)
+		b.Append(s.idxBuf, v)
+	}
+	return s.advance(s.updater.Anchor(), b.Build())
+}
+
+// advance runs one full-sweep boundary — the shared core of Ingest and
+// Flush: CP-ALS init for the first data, then DTD or distributed
+// DisMASTD steps seeded by the boundary index, with the event updater
+// re-anchored on the result.
+func (s *Stream) advance(prev *dtd.State, snapshot *tensor.Tensor) (*StepReport, error) {
 	start := time.Now()
 	report := &StepReport{Snapshot: s.step}
 
-	if s.state == nil {
-		st, stats, err := dtd.Init(snapshot, dtd.Options{
-			Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol,
-			Mu: opts.ForgettingFactor, Seed: opts.Seed,
-			Threads: opts.Threads, Layout: opts.layoutKind(),
-		})
+	if prev == nil {
+		st, stats, err := dtd.Init(snapshot, s.dtdOptions(s.vopts.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -131,12 +325,8 @@ func (s *Stream) Ingest(snapshot *Tensor) (*StepReport, error) {
 		report.Iters = stats.Iters
 		report.Loss = stats.Loss
 		report.EntriesTouched = snapshot.NNZ()
-	} else if opts.Workers <= 1 {
-		st, stats, err := dtd.Step(s.state, snapshot, dtd.Options{
-			Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol,
-			Mu: opts.ForgettingFactor, Seed: opts.Seed + uint64(s.step),
-			Threads: opts.Threads, Layout: opts.layoutKind(),
-		})
+	} else if s.vopts.Workers <= 1 {
+		st, stats, err := dtd.Step(prev, snapshot, s.dtdOptions(s.vopts.Seed+uint64(s.step)))
 		if err != nil {
 			return nil, err
 		}
@@ -145,13 +335,10 @@ func (s *Stream) Ingest(snapshot *Tensor) (*StepReport, error) {
 		report.Loss = stats.Loss
 		report.EntriesTouched = stats.ComplementNNZ
 	} else {
-		st, stats, err := core.Step(s.state, snapshot, core.Options{
-			Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol,
-			Mu: opts.ForgettingFactor, Seed: opts.Seed + uint64(s.step),
-			Workers: opts.Workers, Parts: opts.Parts,
-			Method:  partition.Method(opts.Partitioner),
-			Threads: opts.Threads, Layout: opts.layoutKind(),
-		})
+		if s.session == nil {
+			s.session = core.NewSession(s.vopts.Workers)
+		}
+		st, stats, err := s.session.Step(prev, snapshot, s.coreOptions(s.vopts.Seed+uint64(s.step)))
 		if err != nil {
 			return nil, err
 		}
@@ -162,13 +349,133 @@ func (s *Stream) Ingest(snapshot *Tensor) (*StepReport, error) {
 		report.BytesOnWire = stats.Cluster.TotalBytes()
 		report.Imbalance = stats.Imbalance
 	}
+	if s.updater != nil {
+		s.updater.Reset(s.state)
+	}
 	report.Wall = time.Since(start)
 	s.step++
 	return report, nil
 }
 
-// Factors returns the current factor matrices, one per mode, or nil
-// before the first Ingest. Mutating them affects the stream.
+// checkEvents validates a batch: consistent order, non-negative
+// coordinates, finite values.
+func (s *Stream) checkEvents(events []Event) error {
+	order := 0
+	switch {
+	case s.state != nil:
+		order = len(s.state.Dims)
+	case s.preOrder > 0:
+		order = s.preOrder
+	}
+	for i := range events {
+		ev := &events[i]
+		if order == 0 {
+			order = len(ev.Coords)
+			if order == 0 {
+				return fmt.Errorf("dismastd: event %d has no coordinates", i)
+			}
+		}
+		if len(ev.Coords) != order {
+			return fmt.Errorf("dismastd: event %d has %d coordinates, stream order is %d", i, len(ev.Coords), order)
+		}
+		for m, c := range ev.Coords {
+			if c < 0 {
+				return fmt.Errorf("dismastd: event %d has negative coordinate %d in mode %d", i, c, m)
+			}
+		}
+		if math.IsNaN(ev.Value) || math.IsInf(ev.Value, 0) {
+			return fmt.Errorf("dismastd: event %d has non-finite value %v", i, ev.Value)
+		}
+	}
+	if s.state == nil {
+		s.preOrder = order
+	}
+	return nil
+}
+
+// bufferPreInit accumulates events arriving before the first
+// decomposition exists.
+func (s *Stream) bufferPreInit(events []Event) {
+	if s.preDims == nil {
+		s.preDims = make([]int, s.preOrder)
+	}
+	for i := range events {
+		ev := &events[i]
+		for m, c := range ev.Coords {
+			if c+1 > s.preDims[m] {
+				s.preDims[m] = c + 1
+			}
+			s.preCoords = append(s.preCoords, int32(c))
+		}
+		s.preVals = append(s.preVals, ev.Value)
+	}
+}
+
+// applyEvents grows the live dims when the batch requires it, then
+// hands the batch to the row updater.
+func (s *Stream) applyEvents(events []Event, rep *EventReport) error {
+	if s.updater == nil {
+		u, err := dtd.NewUpdater(s.state, s.dtdOptions(s.vopts.Seed))
+		if err != nil {
+			return err
+		}
+		s.updater = u
+	}
+	s.growDims = append(s.growDims[:0], s.state.Dims...)
+	grew := false
+	for i := range events {
+		for m, c := range events[i].Coords {
+			if c+1 > s.growDims[m] {
+				s.growDims[m] = c + 1
+				grew = true
+			}
+		}
+	}
+	if grew {
+		if err := s.updater.Grow(s.growDims); err != nil {
+			return err
+		}
+		rep.Grew = true
+	}
+	n := len(s.state.Dims)
+	s.evCoords = s.evCoords[:0]
+	s.evVals = s.evVals[:0]
+	for i := range events {
+		for _, c := range events[i].Coords {
+			s.evCoords = append(s.evCoords, int32(c))
+		}
+		s.evVals = append(s.evVals, events[i].Value)
+	}
+	if len(s.evCoords) != n*len(s.evVals) {
+		return fmt.Errorf("dismastd: inconsistent event batch")
+	}
+	before := s.updater.RowsTouched()
+	s.updater.Apply(s.evCoords, s.evVals)
+	rep.RowsUpdated = s.updater.RowsTouched() - before
+	return nil
+}
+
+// pendingEvents returns how many events await the next full sweep.
+func (s *Stream) pendingEvents() int {
+	if s.state == nil {
+		return len(s.preVals)
+	}
+	if s.updater == nil {
+		return 0
+	}
+	return s.updater.Pending()
+}
+
+func (s *Stream) liveDims() []int {
+	if s.state != nil {
+		return s.state.Dims
+	}
+	return s.preDims
+}
+
+// Factors returns the current factor matrices, one per mode — the live
+// serving view, including event-path row updates — or nil before the
+// first data. Mutating them affects the stream.
 func (s *Stream) Factors() []*Dense {
 	if s.state == nil {
 		return nil
@@ -176,7 +483,8 @@ func (s *Stream) Factors() []*Dense {
 	return s.state.Factors
 }
 
-// Dims returns the mode sizes of the last ingested snapshot.
+// Dims returns the current mode sizes: the last ingested snapshot's,
+// extended by any growth events since.
 func (s *Stream) Dims() []int {
 	if s.state == nil {
 		return nil
@@ -184,11 +492,16 @@ func (s *Stream) Dims() []int {
 	return s.state.Dims
 }
 
-// Snapshots returns how many snapshots have been ingested.
+// Snapshots returns how many full-sweep boundaries have completed —
+// bulk snapshots ingested plus event flushes.
 func (s *Stream) Snapshots() int { return s.step }
 
+// Pending returns how many events are accumulated toward the next full
+// sweep.
+func (s *Stream) Pending() int { return s.pendingEvents() }
+
 // Predict reconstructs the model value at idx from the current factors.
-// It panics before the first Ingest or on out-of-range indices.
+// It panics before the first data or on out-of-range indices.
 func (s *Stream) Predict(idx []int) float64 {
 	if s.state == nil {
 		panic("dismastd: Predict before any Ingest")
@@ -196,26 +509,39 @@ func (s *Stream) Predict(idx []int) float64 {
 	return Predict(s.state.Factors, idx)
 }
 
-// Save checkpoints the stream's decomposition state so processing can
-// resume later (or in another process) with ResumeStream. At least one
-// snapshot must have been ingested.
+// Save checkpoints the stream's decomposition state — flushing any
+// pending events first, so the checkpoint reflects a sweep boundary —
+// for later resumption with ResumeStream. At least one snapshot or
+// event must have been ingested. The envelope records the boundary
+// counter, so a resumed stream keeps reporting snapshot indices where
+// this one left off.
 func (s *Stream) Save(w io.Writer) error {
+	if err := s.ensureOpts(); err != nil {
+		return err
+	}
+	if s.pendingEvents() > 0 {
+		if _, err := s.Flush(); err != nil {
+			return err
+		}
+	}
 	if s.state == nil {
 		return fmt.Errorf("dismastd: Save before any Ingest")
 	}
-	return dtd.WriteState(w, s.state)
+	return dtd.WriteStateSteps(w, s.state, uint64(s.step))
 }
 
 // ResumeStream restores a stream checkpointed with Save. The options
 // must use the same Rank; snapshots ingested next must extend the
-// checkpointed dims. The restored stream reports snapshot indices
-// starting from 1 (the checkpoint counts as snapshot 0).
+// checkpointed dims. Current checkpoints carry the snapshot counter,
+// so indices continue where Save left off; a checkpoint from before
+// the counter existed resumes at index 1 (the checkpoint counts as
+// snapshot 0).
 func ResumeStream(r io.Reader, opts Options) (*Stream, error) {
 	vopts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	state, err := dtd.ReadState(r)
+	state, steps, err := dtd.ReadStateSteps(r)
 	if err != nil {
 		return nil, err
 	}
@@ -224,5 +550,9 @@ func ResumeStream(r io.Reader, opts Options) (*Stream, error) {
 			return nil, fmt.Errorf("dismastd: checkpoint factor %d has rank %d, options say %d", m, f.Cols, vopts.Rank)
 		}
 	}
-	return &Stream{opts: opts, state: state, step: 1}, nil
+	step := int(steps)
+	if step == 0 {
+		step = 1
+	}
+	return &Stream{opts: opts, state: state, step: step}, nil
 }
