@@ -12,7 +12,7 @@ NUMERIC_PKGS = ./internal/par/... ./internal/mat/... ./internal/mttkrp/... \
 	./internal/layout/... ./internal/cp/... ./internal/dtd/... \
 	./internal/dmsmg/... ./internal/completion/... ./internal/onlinecp/...
 
-.PHONY: all build test vet race check bench bench-comm bench-obs bench-paper bench-par bench-serve profile clean
+.PHONY: all build test vet race check bench bench-comm bench-obs bench-paper bench-par bench-sampled bench-serve profile clean
 
 all: check
 
@@ -31,7 +31,7 @@ test: build
 # kill-and-resume) and the in-place kernel/aliasing tests must all pass
 # with -race.
 race:
-	$(GO) test -race $(CLUSTER_PKGS) $(NUMERIC_PKGS) ./internal/obs/...
+	$(GO) test -race $(CLUSTER_PKGS) $(NUMERIC_PKGS) ./internal/obs/... ./internal/sample/...
 
 check: vet test race
 
@@ -75,6 +75,18 @@ bench-par:
 	$(GO) test -bench='BenchmarkParallel' -benchtime=5x -run '^$$' \
 		./internal/bench/... \
 		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json
+
+# Randomized-solver acceptance benchmark: full CP-ALS on a planted
+# nnz ≥ 10^6 low-rank tensor with the exact solver and the
+# leverage-score sketch at the default sample count. Each row reports
+# round_us (per-sweep compute wall) and fit; benchjson derives
+# speedup_vs_exact and fit_gap from the solver=exact baseline, so
+# BENCH_sampled.json is the sampled path's speed/accuracy contract
+# tracked across PRs.
+bench-sampled:
+	$(GO) test -bench='BenchmarkSampledALS' -benchtime=1x -run '^$$' \
+		./internal/bench/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_sampled.json
 
 # Serving front-end benchmark: one writer streams event micro-batches
 # over HTTP while 1/4/8 reader clients run top-K and reconstruction

@@ -16,7 +16,9 @@
 // name segment gain a derived speedup_vs_1 metric — the 1-thread
 // ns/op of the same benchmark divided by the row's own. Rows that
 // differ only in a "layout=K" segment likewise gain speedup_vs_coo
-// against the layout=coo baseline.
+// against the layout=coo baseline, and rows differing only in a
+// "solver=K" segment gain speedup_vs_exact and fit_gap against the
+// solver=exact baseline (`make bench-sampled` → BENCH_sampled.json).
 package main
 
 import (
@@ -110,6 +112,7 @@ var (
 	threadsSeg = regexp.MustCompile(`threads=(\d+)`)
 	layoutSeg  = regexp.MustCompile(`layout=(\w+)`)
 	clientsSeg = regexp.MustCompile(`clients=(\d+)`)
+	solverSeg  = regexp.MustCompile(`solver=(\w+)(?:/samples=\d+)?`)
 )
 
 // addSpeedups annotates every row whose name carries a "threads=N"
@@ -168,6 +171,54 @@ func addTailRatios(rows []Row) {
 		}
 		for k, v := range derived {
 			r.Extra[k] = v
+		}
+	}
+}
+
+// addSolverDerived annotates every row carrying a "solver=K" name
+// segment (a trailing "/samples=N" folds into the match, so sampled
+// rows at any sketch size pair with the same exact baseline) with the
+// two metrics BENCH_sampled.json tracks across PRs: speedup_vs_exact —
+// the solver=exact row's per-sweep wall (round_us metric when both
+// rows report it, ns/op otherwise) divided by the row's own — and
+// fit_gap, the exact row's fit minus the row's.
+func addSolverDerived(rows []Row) {
+	key := func(r Row) string {
+		return r.Package + "|" + solverSeg.ReplaceAllString(r.Name, "*")
+	}
+	baseRound := map[string]float64{}
+	baseNs := map[string]float64{}
+	baseFit := map[string]*float64{}
+	for _, r := range rows {
+		if m := solverSeg.FindStringSubmatch(r.Name); m != nil && m[1] == "exact" {
+			k := key(r)
+			baseRound[k] = r.Extra["round_us"]
+			baseNs[k] = r.NsPerOp
+			if fit, ok := r.Extra["fit"]; ok {
+				f := fit
+				baseFit[k] = &f
+			}
+		}
+	}
+	for i := range rows {
+		r := &rows[i]
+		m := solverSeg.FindStringSubmatch(r.Name)
+		if m == nil || m[1] == "exact" {
+			continue
+		}
+		k := key(*r)
+		if r.Extra == nil {
+			r.Extra = map[string]float64{}
+		}
+		if b, ok := baseRound[k]; ok && b > 0 && r.Extra["round_us"] > 0 {
+			r.Extra["speedup_vs_exact"] = b / r.Extra["round_us"]
+		} else if b := baseNs[k]; b > 0 && r.NsPerOp > 0 {
+			r.Extra["speedup_vs_exact"] = b / r.NsPerOp
+		}
+		if f := baseFit[k]; f != nil {
+			if fit, ok := r.Extra["fit"]; ok {
+				r.Extra["fit_gap"] = *f - fit
+			}
 		}
 	}
 }
@@ -242,6 +293,7 @@ func main() {
 	addSpeedups(doc.Results)
 	addTailRatios(doc.Results)
 	addClientScaling(doc.Results)
+	addSolverDerived(doc.Results)
 	if doc.Meta.GOMAXPROCS == 0 {
 		// No -N name suffix (GOMAXPROCS=1 runs omit it, or no rows):
 		// fall back to this process, which `make bench*` runs on the

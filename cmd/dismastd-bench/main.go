@@ -38,7 +38,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("dismastd-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment: all, table3, table4, fig5, fig6, fig7, comm, fit, phases")
+	exp := fs.String("exp", "all", "experiment: all, table3, table4, fig5, fig6, fig7, comm, fit, phases, sampled")
 	jsonOut := fs.String("json", "", "for -exp phases: also write the reports as JSON to this path")
 	nnz := fs.Int("nnz", 100000, "target nnz per generated dataset")
 	rank := fs.Int("rank", 10, "CP rank R (paper: 10)")
@@ -49,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	layoutFlag := fs.String("layout", "coo", "sparse kernel representation: coo or compiled; results are identical under either")
 	seed := fs.Uint64("seed", 42, "generator seed")
 	datasets := fs.String("datasets", "", "comma-separated subset (default all four)")
+	samples := fs.Int("samples", 0, "for -exp sampled: sketch size S per mode (0 = default)")
+	fitTol := fs.Float64("fit-tol", 0, "for -exp sampled: fail when a sampled fit trails exact by more than this (0 = report only)")
 	svgDir := fs.String("svgdir", "", "also render the figures as SVG charts into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -179,6 +181,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(stderr, "dismastd-bench: wrote %s\n", *jsonOut)
+		}
+	}
+	if want("sampled") {
+		ran = true
+		fmt.Fprintln(stdout, "== Randomized solver: exact vs leverage-score sampled ALS (extension) ==")
+		points, err := bench.SampledGap(cfg, *samples)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, bench.FormatSampled(points))
+		if *fitTol > 0 {
+			for _, p := range points {
+				if p.Samples != 0 && p.Gap > *fitTol {
+					return fmt.Errorf("sampled fit gap %.4f on %s exceeds -fit-tol %.4f", p.Gap, p.Dataset, *fitTol)
+				}
+			}
 		}
 	}
 	if !ran {

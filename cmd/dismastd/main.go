@@ -50,8 +50,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 1, "worker count (1 = centralized DTD, >1 = distributed DisMASTD)")
 	threads := fs.Int("threads", 0, "compute threads per worker (0 = GOMAXPROCS); results are identical at every value")
 	layoutFlag := fs.String("layout", "coo", "sparse kernel representation: coo or compiled; results are identical under either")
+	solver := fs.String("solver", "exact", "least-squares strategy: exact (full MTTKRP) or sampled (leverage-score sketch, sublinear in nnz)")
+	samples := fs.Int("samples", 0, "sketch size per mode for -solver sampled (0 = default 8192)")
 	parts := fs.Int("parts", 0, "tensor partitions per mode (default = workers)")
-	method := fs.String("method", "gtp", "partitioning heuristic: gtp or mtp")
+	method := fs.String("method", "gtp", "partitioning heuristic: gtp or mtp (both tensor-stationary: entries stay put, factor rows travel)")
 	seed := fs.Uint64("seed", 1, "initialisation seed")
 	ckpt := fs.String("checkpoint", "", "write the final stream state to this path")
 	resume := fs.String("resume", "", "resume from a state previously written with -checkpoint")
@@ -79,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Rank: *rank, MaxIters: *iters, ForgettingFactor: *mu, Seed: *seed,
 		Workers: *workers, Parts: *parts, Partitioner: partitioner,
 		Threads: nthreads, Layout: *layoutFlag,
+		Solver: *solver, Samples: *samples,
 	}
 	stream := dismastd.NewStream(opts)
 	if *resume != "" {

@@ -55,6 +55,7 @@ import (
 	"dismastd/internal/obs"
 	obscluster "dismastd/internal/obs/cluster"
 	"dismastd/internal/partition"
+	"dismastd/internal/sample"
 	"dismastd/internal/tensor"
 )
 
@@ -76,6 +77,8 @@ type workerConfig struct {
 	rank, iters   int
 	threads       int
 	layout        layout.Kind
+	solver        sample.Kind
+	samples       int
 	mu            float64
 	method        partition.Method
 	seed          uint64
@@ -137,8 +140,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	iters := fs.Int("iters", 10, "maximum ALS sweeps")
 	threads := fs.Int("threads", 0, "compute threads for this rank's numeric kernels (0 = GOMAXPROCS); results are identical at every value")
 	layoutFlag := fs.String("layout", "coo", "sparse kernel representation: coo or compiled; results are identical under either")
+	solver := fs.String("solver", "exact", "least-squares strategy: exact (full MTTKRP) or sampled (leverage-score sketch, sublinear in nnz; forces broadcast row exchange)")
+	samples := fs.Int("samples", 0, "sketch size per mode for -solver sampled (0 = default 8192)")
 	mu := fs.Float64("mu", 0.8, "forgetting factor")
-	method := fs.String("method", "mtp", "partitioning heuristic: gtp or mtp")
+	method := fs.String("method", "mtp", "partitioning heuristic: gtp or mtp (both tensor-stationary: entries stay put, factor rows travel)")
 	seed := fs.Uint64("seed", 1, "initialisation seed")
 	timeout := fs.Duration("timeout", 2*time.Minute, "join and receive timeout")
 	heartbeat := fs.Duration("heartbeat", 0, "peer failure-detection probe interval (0 = off)")
@@ -169,6 +174,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			opts: dismastd.Options{
 				Rank: *rank, MaxIters: *iters, ForgettingFactor: *mu, Seed: *seed,
 				Workers: *workers, Threads: resolveThreads(*threads), Layout: *layoutFlag,
+				Solver: *solver, Samples: *samples,
 				SweepEvery: *sweepEvery,
 			},
 			drainTimeout: *drainTimeout,
@@ -230,12 +236,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		sk, err := sample.ParseKind(*solver)
+		if err != nil {
+			return err
+		}
 		cfg := workerConfig{
 			join: *join, listen: *listen,
 			tensors:  strings.Split(*tensorPath, ","),
 			prevPath: *prevPath, outPath: *outPath,
 			checkpoint: *checkpoint, resume: *resume,
 			rank: *rank, iters: *iters, threads: resolveThreads(*threads), layout: lk, mu: *mu, method: pm, seed: *seed,
+			solver: sk, samples: *samples,
 			timeout: *timeout, heartbeat: *heartbeat, chaosKillStep: *chaosKill,
 			debugAddr: *debugAddr, ringThreshold: *ringThreshold,
 			elastic: *elastic, members: *members,
@@ -332,7 +343,7 @@ func runWorker(stdout, stderr io.Writer, cfg workerConfig) error {
 		job, err := core.NewStepJob(prev, snaps[step], core.Options{
 			Rank: cfg.rank, MaxIters: cfg.iters, Mu: cfg.mu, Seed: cfg.seed,
 			Workers: node.Size(), Method: cfg.method, Threads: cfg.threads,
-			Layout: cfg.layout, Obs: node.Obs(),
+			Layout: cfg.layout, Solver: cfg.solver, Samples: cfg.samples, Obs: node.Obs(),
 		})
 		if err != nil {
 			return err
@@ -435,7 +446,8 @@ func runElasticWorker(stdout io.Writer, log *slog.Logger, node *cluster.TCPNode,
 	o := core.ElasticOptions{
 		Options: core.Options{
 			Rank: cfg.rank, MaxIters: cfg.iters, Mu: cfg.mu, Seed: cfg.seed,
-			Method: cfg.method, Threads: cfg.threads, Layout: cfg.layout, Obs: node.Obs(),
+			Method: cfg.method, Threads: cfg.threads, Layout: cfg.layout,
+			Solver: cfg.solver, Samples: cfg.samples, Obs: node.Obs(),
 		},
 		World:       node.Size(),
 		Members:     members,

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"dismastd/internal/cp"
+	"dismastd/internal/obs"
+	"dismastd/internal/sample"
+)
+
+// BenchmarkSampledALS is the sampled-solver acceptance benchmark: full
+// CP-ALS over a planted low-rank tensor with nnz ≥ 10^6, once with the
+// exact solver and once with the leverage-score sketch at the default
+// sample count. Each row reports round_us (per-sweep compute wall,
+// index/compile time excluded) and fit (exact reconstruction fit);
+// benchjson derives speedup_vs_exact and fit_gap from the pair into
+// BENCH_sampled.json. The acceptance bar: speedup_vs_exact ≥ 2 with
+// fit_gap within 1e-2 of the exact fit.
+func BenchmarkSampledALS(b *testing.B) {
+	// d=110, order=3 → nnz = 110³ ≈ 1.33e6.
+	t := DenseLowRank(110, 3, 10, 0.01, 42)
+	runs := []struct {
+		name    string
+		solver  sample.Kind
+		samples int
+	}{
+		{"solver=exact", sample.Exact, 0},
+		{fmt.Sprintf("solver=sampled/samples=%d", sample.DefaultSamples), sample.Sampled, sample.DefaultSamples},
+	}
+	norm := t.Norm()
+	for _, rn := range runs {
+		b.Run(rn.name, func(b *testing.B) {
+			var round, fit float64
+			for i := 0; i < b.N; i++ {
+				o := obs.New()
+				res, err := cp.Decompose(t, cp.Options{
+					Rank: 10, MaxIters: 10, Tol: 1e-12, Seed: 42,
+					Solver: rn.solver, Samples: rn.samples, Obs: o,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				round = float64(sweepWall(res.Phases, res.Iters).Microseconds())
+				fit = 1 - cp.LossAgainst(t, res.Factors)/norm
+			}
+			b.ReportMetric(round, "round_us")
+			b.ReportMetric(fit, "fit")
+		})
+	}
+}
+
+// TestSampledGapHarness runs the fit-gap harness at reduced scale on
+// every paper dataset and checks the sampled fit lands within the
+// harness's tolerance of the exact fit.
+func TestSampledGapHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-dataset decomposition sweep")
+	}
+	cfg := Config{TargetNNZ: 20000, MaxIters: 6, Threads: 1}
+	points, err := SampledGap(cfg, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	const tol = 5e-2
+	for _, p := range points {
+		if p.Samples == 0 {
+			continue
+		}
+		if p.Gap > tol {
+			t.Errorf("%s: sampled fit %.4f trails exact by %.4f > %.2f", p.Dataset, p.Fit, p.Gap, tol)
+		}
+	}
+	t.Logf("\n%s", FormatSampled(points))
+}

@@ -37,6 +37,7 @@ import (
 	"dismastd/internal/obs"
 	"dismastd/internal/par"
 	"dismastd/internal/partition"
+	"dismastd/internal/sample"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
 )
@@ -75,8 +76,22 @@ type Options struct {
 	// here when a fence-time rebalance fires.
 	RankWeights []float64
 
+	// Solver selects each rank's least-squares strategy: sample.Exact
+	// (default) sweeps the rank's full entry lists; sample.Sampled runs
+	// the leverage-score sketch of internal/sample over the rank's
+	// partition instead. The sampled solver forces the broadcast row
+	// exchange — leverage scores need every row of every replica fresh,
+	// and a drawn tuple can land on any row, so the subscription sets of
+	// the exact plan no longer bound what a rank reads (the
+	// tensor-stationary layout's communication cost; see DESIGN.md).
+	Solver sample.Kind
+	// Samples is the per-mode sketch size S each rank draws; 0 selects
+	// sample.DefaultSamples.
+	Samples int
+
 	// BroadcastRows replaces the subscription-based row exchange with a
-	// full broadcast of every owner's rows (ablation baseline).
+	// full broadcast of every owner's rows (ablation baseline; implied
+	// by the sampled solver).
 	BroadcastRows bool
 	// NaiveLoss recomputes the tensor-model inner product with a second
 	// pass over the entries instead of reusing the MTTKRP result
@@ -127,6 +142,15 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if opts.Threads == 0 {
 		opts.Threads = 1
+	}
+	if opts.Solver != sample.Exact && opts.Solver != sample.Sampled {
+		return opts, fmt.Errorf("core: unknown solver %v", opts.Solver)
+	}
+	if opts.Samples < 0 {
+		return opts, fmt.Errorf("core: negative sample count %d", opts.Samples)
+	}
+	if opts.Samples == 0 {
+		opts.Samples = sample.DefaultSamples
 	}
 	return opts, nil
 }
@@ -225,6 +249,13 @@ func NewStepJob(prev *dtd.State, snapshot *tensor.Tensor, o Options) (*StepJob, 
 	}
 	if err := checkGrowth(prev, snapshot, opts.Rank); err != nil {
 		return nil, err
+	}
+	if opts.Solver == sample.Sampled {
+		// Fail here, at plan time, so the per-rank sampler construction in
+		// newWorkerStateFactors can never fail mid-run.
+		if err := sample.CheckDims(snapshot.Dims); err != nil {
+			return nil, err
+		}
 	}
 	sp := opts.Obs.Span("plan/complement")
 	comp := snapshot.Complement(prev.Dims)
@@ -402,6 +433,12 @@ type workerState struct {
 	hprod  *mat.Dense // ∗_{k≠n} cross
 	sum    *mat.Dense // g0+g1 scratch
 
+	// Sampled-solver state (nil/unused under the exact solver): each
+	// rank sketches its own partition with draw streams keyed by its
+	// rank, and Ĝ overwrites d1 after the exact R×R chains.
+	smp *sample.Sampler
+	gs  *mat.Dense
+
 	g0p, g1p, crossp *mat.Dense // local Gram partials, zeroed each reduce
 	batch            []float64  // 3R² all-reduce payload, rebuilt in place
 	exch             *dplan.Exchanger
@@ -487,6 +524,15 @@ func newWorkerStateFactors(j *StepJob, w *cluster.Worker, warm []*mat.Dense) *wo
 				st.ownedNew[m] = append(st.ownedNew[m], s)
 			}
 		}
+	}
+	if j.opts.Solver == sample.Sampled {
+		smp, err := sample.New(j.plan.Tensor, j.plan.EntryLists[w.Rank()], r, j.opts.Samples, j.opts.Seed, w.Rank())
+		if err != nil {
+			// NewStepJob ran sample.CheckDims on these dims already.
+			panic(fmt.Sprintf("core: sampler construction failed after CheckDims: %v", err))
+		}
+		st.smp = smp
+		st.gs = mat.New(r, r)
 	}
 	st.d0 = mat.New(r, r)
 	st.d1 = mat.New(r, r)
@@ -574,8 +620,21 @@ func (st *workerState) establishGrams() error {
 		if err != nil {
 			return err
 		}
+		if st.smp != nil {
+			st.refreshDist(m)
+		}
 	}
 	return nil
+}
+
+// refreshDist rebuilds mode m's draw distribution from this rank's
+// factor replica and the freshly reduced full Gram. Valid only when
+// every row of the replica is globally fresh — which the sampled
+// solver's forced broadcast exchange guarantees.
+func (st *workerState) refreshDist(m int) {
+	g := st.grams[m]
+	st.sum.Add(g.g0, g.g1)
+	st.smp.Refresh(m, st.full[m], st.sum)
 }
 
 // sweepOnce runs one full ALS sweep — the four per-mode phases followed
@@ -584,14 +643,27 @@ func (st *workerState) sweepOnce(sweep int) (float64, error) {
 	j := st.job
 	st.obs.SetIter(sweep)
 	for m := range st.full {
-		// 1. Distributed MTTKRP over this worker's mode-m entries.
+		// 1. Distributed MTTKRP over this worker's mode-m entries — or
+		// the leverage-score sketch of them under the sampled solver.
 		sp := st.obs.Span(st.names[m].mttkrp)
-		st.mttkrpMode(m)
+		if st.smp != nil {
+			st.sampledMttkrp(m)
+		} else {
+			st.mttkrpMode(m)
+		}
 		sp.End()
 
 		// 2. Row-wise update of owned rows.
 		sp = st.obs.Span(st.names[m].solve)
 		st.denominators(m)
+		if st.smp != nil {
+			// Ĝ estimates the ∗_{k≠m}(g0+g1) chain the exact path just
+			// built; the O(R²) g0prod/hprod chains stay exact, so d0 is
+			// recomposed around the sketched d1.
+			st.d1.CopyFrom(st.gs)
+			st.d0.Scale(-(1 - j.opts.Mu), st.g0prod)
+			st.d0.Add(st.d0, st.d1)
+		}
 		st.updateOwnedRows(m)
 		sp.End()
 
@@ -603,12 +675,17 @@ func (st *workerState) sweepOnce(sweep int) (float64, error) {
 			return 0, err
 		}
 
-		// 4. Push updated rows to subscribers.
+		// 4. Push updated rows to subscribers — every replica under the
+		// sampled solver, which needs all rows globally fresh before the
+		// next leverage refresh.
 		sp = st.obs.Span(st.names[m].exchange)
-		err = st.exch.Exchange(m, st.full[m], j.opts.BroadcastRows)
+		err = st.exch.Exchange(m, st.full[m], j.opts.BroadcastRows || st.smp != nil)
 		sp.End()
 		if err != nil {
 			return 0, err
+		}
+		if st.smp != nil {
+			st.refreshDist(m)
 		}
 	}
 
@@ -633,6 +710,20 @@ func (st *workerState) mttkrpMode(mode int) {
 	nnz := st.kernels[mode].NNZ()
 	st.w.AddWork(float64(nnz) * float64(comp.Order()) * float64(M.Cols))
 	st.cMttkrp.Add(int64(nnz))
+	st.lastM = M
+}
+
+// sampledMttkrp fills the mode's buffer with the sketched MTTKRP M̂ of
+// this rank's partition and st.gs with the sketched Khatri-Rao Gram Ĝ.
+// lastM becomes the sketch, so the reuse-based loss — and the Tol stop
+// it drives — is an unbiased estimate; LossAgainst gives the exact one.
+func (st *workerState) sampledMttkrp(mode int) {
+	M := st.mbuf[mode]
+	matched := st.smp.Sample(mode, st.full, st.pacc, st.pk, M, st.gs, st.names[mode].chunk)
+	// S draws each build a Khatri-Rao row (plus the S×R Gram), and the
+	// matched entries pay the usual per-entry accumulate.
+	st.w.AddWork(float64(st.smp.Samples()+matched) * float64(len(st.full)) * float64(M.Cols))
+	st.cMttkrp.Add(int64(matched))
 	st.lastM = M
 }
 

@@ -23,6 +23,7 @@ import (
 	"dismastd/internal/mttkrp"
 	"dismastd/internal/obs"
 	"dismastd/internal/par"
+	"dismastd/internal/sample"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
 )
@@ -45,9 +46,20 @@ type Options struct {
 	// Factors are bitwise identical under either.
 	Layout layout.Kind
 
+	// Solver selects the per-mode least-squares strategy: sample.Exact
+	// (default) runs the full MTTKRP and the exact Gram Hadamard
+	// product; sample.Sampled replaces both with the leverage-score
+	// sketch of internal/sample — sublinear-in-nnz rounds at a
+	// configurable fit tolerance, bitwise reproducible per seed at
+	// every thread count.
+	Solver sample.Kind
+	// Samples is the sketch size S per mode under the sampled solver;
+	// 0 selects sample.DefaultSamples.
+	Samples int
+
 	// Obs receives the run's phase spans (modeN/mttkrp, modeN/solve,
-	// modeN/gram, loss, and per-chunk modeN/mttkrp.chunk spans when
-	// Threads > 1). May be nil.
+	// modeN/gram, loss, plan/sample-index under the sampled solver, and
+	// per-chunk modeN/mttkrp.chunk spans when Threads > 1). May be nil.
 	Obs *obs.Obs
 }
 
@@ -74,17 +86,27 @@ func (o *Options) withDefaults() (Options, error) {
 	if opts.Threads == 0 {
 		opts.Threads = 1
 	}
+	if opts.Solver != sample.Exact && opts.Solver != sample.Sampled {
+		return opts, fmt.Errorf("cp: unknown solver %v", opts.Solver)
+	}
+	if opts.Samples < 0 {
+		return opts, fmt.Errorf("cp: negative sample count %d", opts.Samples)
+	}
+	if opts.Samples == 0 {
+		opts.Samples = sample.DefaultSamples
+	}
 	return opts, nil
 }
 
 // Result holds the factor matrices and convergence diagnostics of a
 // CP-ALS run.
 type Result struct {
-	Factors   []*mat.Dense // one I_n x R factor per mode
-	Iters     int          // ALS sweeps performed
-	Loss      float64      // final ‖X − [[A]]‖_F
-	Fit       float64      // 1 − Loss/‖X‖_F
-	LossTrace []float64    // loss after each sweep
+	Factors   []*mat.Dense    // one I_n x R factor per mode
+	Iters     int             // ALS sweeps performed
+	Loss      float64         // final ‖X − [[A]]‖_F
+	Fit       float64         // 1 − Loss/‖X‖_F
+	LossTrace []float64       // loss after each sweep
+	Phases    []obs.PhaseStat // per-phase wall time, when Options.Obs is set
 }
 
 // ErrEmptyTensor reports decomposition of a tensor without entries.
@@ -154,6 +176,23 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 	denom := mat.New(opts.Rank, opts.Rank)
 	hall := mat.New(opts.Rank, opts.Rank)
 
+	// Under the sampled solver, the per-mode system (MTTKRP + Gram
+	// Hadamard product) is replaced by the leverage-score sketch: build
+	// the per-mode fiber indices once, then refresh each mode's draw
+	// distribution whenever its Gram refreshes.
+	var smp *sample.Sampler
+	if opts.Solver == sample.Sampled {
+		sp := opts.Obs.Span("plan/sample-index")
+		smp, err = sample.New(x, nil, opts.Rank, opts.Samples, opts.Seed, 0)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		for m := range factors {
+			smp.Refresh(m, factors[m], grams[m])
+		}
+	}
+
 	// Per-mode span names, formatted once so the sweep loop never builds
 	// strings; every handle is nil-safe when opts.Obs is unset.
 	names := make([]struct{ mttkrp, chunk, solve, gram string }, n)
@@ -173,22 +212,37 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 		for m := 0; m < n; m++ {
 			sp := opts.Obs.Span(names[m].mttkrp)
 			M := mbuf[m]
-			M.Zero()
-			pacc.Accumulate(M, kernels[m], factors, names[m].chunk)
-			cRows.Add(int64(x.NNZ()))
+			if smp != nil {
+				// Sketched system: M̂ into M, Ĝ into denom.
+				matched := smp.Sample(m, factors, pacc, pk, M, denom, names[m].chunk)
+				cRows.Add(int64(matched))
+			} else {
+				M.Zero()
+				pacc.Accumulate(M, kernels[m], factors, names[m].chunk)
+				cRows.Add(int64(x.NNZ()))
+			}
 			sp.End()
 			sp = opts.Obs.Span(names[m].solve)
-			hadamardExceptInto(denom, grams, m)
+			if smp == nil {
+				hadamardExceptInto(denom, grams, m)
+			}
 			pk.SolveRightRidgeInto(factors[m], M, denom)
 			sp.End()
 			sp = opts.Obs.Span(names[m].gram)
 			pk.GramInto(grams[m], factors[m])
+			if smp != nil {
+				smp.Refresh(m, factors[m], grams[m])
+			}
 			sp.End()
 			lastM = M
 		}
 		res.Factors = factors
 		res.Iters = it + 1
 
+		// Under the sampled solver lastM is the sketched MTTKRP, so the
+		// inner-product term — and with it the loss trace and the Tol
+		// stop — is an unbiased estimate rather than exact; callers
+		// needing the true final loss evaluate LossAgainst once.
 		lsp := opts.Obs.Span("loss")
 		inner := mat.Dot(lastM, factors[n-1])
 		mat.HadamardAllInto(hall, grams...)
@@ -205,6 +259,9 @@ func DecomposeFrom(x *tensor.Tensor, factors []*mat.Dense, o Options) (*Result, 
 			break
 		}
 		prevFit = res.Fit
+	}
+	if opts.Obs != nil && opts.Obs.Trace != nil {
+		res.Phases = obs.AggregatePhases(opts.Obs.Trace.Phases())
 	}
 	return res, nil
 }

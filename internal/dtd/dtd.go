@@ -28,6 +28,7 @@ import (
 	"dismastd/internal/mttkrp"
 	"dismastd/internal/obs"
 	"dismastd/internal/par"
+	"dismastd/internal/sample"
 	"dismastd/internal/tensor"
 	"dismastd/internal/xrand"
 )
@@ -50,6 +51,17 @@ type Options struct {
 	// once and amortises it over the step's sweeps. Factors are bitwise
 	// identical under either.
 	Layout layout.Kind
+
+	// Solver selects the per-mode least-squares strategy: sample.Exact
+	// (default) runs the full complement MTTKRP and the exact Gram
+	// chains; sample.Sampled replaces the MTTKRP and the D₁ denominator
+	// with the leverage-score sketch of internal/sample (the exact
+	// R×R chains still supply the μ-weighted history terms). Bitwise
+	// reproducible per seed at every thread count.
+	Solver sample.Kind
+	// Samples is the sketch size S per mode under the sampled solver;
+	// 0 selects sample.DefaultSamples.
+	Samples int
 
 	// Obs receives the step's phase spans and counters. May be nil; all
 	// handles are nil-safe, so instrumentation costs nothing when unset.
@@ -84,6 +96,15 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if opts.Threads == 0 {
 		opts.Threads = 1
+	}
+	if opts.Solver != sample.Exact && opts.Solver != sample.Sampled {
+		return opts, fmt.Errorf("dtd: unknown solver %v", opts.Solver)
+	}
+	if opts.Samples < 0 {
+		return opts, fmt.Errorf("dtd: negative sample count %d", opts.Samples)
+	}
+	if opts.Samples == 0 {
+		opts.Samples = sample.DefaultSamples
 	}
 	return opts, nil
 }
@@ -124,7 +145,7 @@ func Init(x *tensor.Tensor, o Options) (*State, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := cp.Decompose(x, cp.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Seed: opts.Seed, Threads: opts.Threads, Layout: opts.Layout, Obs: opts.Obs})
+	res, err := cp.Decompose(x, cp.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Seed: opts.Seed, Threads: opts.Threads, Layout: opts.Layout, Solver: opts.Solver, Samples: opts.Samples, Obs: opts.Obs})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -162,6 +183,15 @@ func Step(prev *State, snapshot *tensor.Tensor, o Options) (*State, *Stats, erro
 	pool := par.New(opts.Threads)
 	defer pool.Close()
 	it := newIteration(prev, comp, full, oldDims, opts, pool)
+	if opts.Solver == sample.Sampled {
+		ssp := opts.Obs.Span("plan/sample-index")
+		smp, err := sample.New(comp, nil, opts.Rank, opts.Samples, opts.Seed, 0)
+		ssp.End()
+		if err != nil {
+			return nil, nil, err
+		}
+		it.bindSampler(smp)
+	}
 	stats := &Stats{ComplementNNZ: comp.NNZ(), LossTrace: make([]float64, 0, opts.MaxIters)}
 	prevLoss := math.Inf(1)
 	for sweep := 0; sweep < opts.MaxIters; sweep++ {
@@ -238,6 +268,12 @@ type iteration struct {
 	hprod    *mat.Dense   // ∗_{k≠n} cross[k]
 	sum      *mat.Dense   // gram0[k]+gram1[k] scratch
 	fullG    []*mat.Dense // per-mode gram0+gram1, rebuilt by loss()
+
+	// Sampled-solver state (nil/unused under the exact solver): the
+	// sketch Ĝ of the Khatri-Rao Gram overwrites d1 after the exact
+	// R×R chains compute g0prod and hprod.
+	smp *sample.Sampler
+	gs  *mat.Dense
 
 	// Parallel runtime: the step's pool, one workspace per pool
 	// thread, and the pooled kernel/accumulator front-ends. With
@@ -324,6 +360,23 @@ func newIteration(prev *State, comp *tensor.Tensor, full []*mat.Dense, oldDims [
 	return it
 }
 
+// bindSampler installs the leverage-score sampler and seeds its draw
+// distributions from the freshly established Grams.
+func (it *iteration) bindSampler(smp *sample.Sampler) {
+	it.smp = smp
+	it.gs = mat.New(it.opts.Rank, it.opts.Rank)
+	for m := range it.full {
+		it.refreshDist(m)
+	}
+}
+
+// refreshDist rebuilds mode m's draw distribution from the current
+// stacked factor and its full Gram (old block + growth block).
+func (it *iteration) refreshDist(m int) {
+	it.sum.Add(it.gram0[m], it.gram1[m])
+	it.smp.Refresh(m, it.full[m], it.sum)
+}
+
 func (it *iteration) refreshGrams(m int) {
 	it.pk.GramInto(it.gram0[m], it.a0v[m])
 	it.pk.GramInto(it.gram1[m], it.a1v[m])
@@ -375,13 +428,24 @@ func (it *iteration) sweep() {
 	for m := range it.full {
 		sp := it.obs.Span(it.names[m].mttkrp)
 		M := it.mbuf[m]
-		M.Zero()
-		it.pacc.Accumulate(M, it.kernels[m], it.full, it.names[m].chunk)
-		it.cMttkrp.Add(int64(it.comp.NNZ()))
+		if it.smp != nil {
+			matched := it.smp.Sample(m, it.full, it.pacc, it.pk, M, it.gs, it.names[m].chunk)
+			it.cMttkrp.Add(int64(matched))
+		} else {
+			M.Zero()
+			it.pacc.Accumulate(M, it.kernels[m], it.full, it.names[m].chunk)
+			it.cMttkrp.Add(int64(it.comp.NNZ()))
+		}
 		sp.End()
 
 		sp = it.obs.Span(it.names[m].solve)
 		it.denominators(m)
+		if it.smp != nil {
+			// The sketched Ĝ estimates the same ∗_{k≠m}(A_kᵀA_k) the exact
+			// chain just produced; the exact g0prod/hprod chains stay — they
+			// are O(R²) per mode, not data-dependent.
+			it.d1.CopyFrom(it.gs)
+		}
 		it.d0.Scale(-(1 - it.opts.Mu), it.g0prod)
 		it.d0.Add(it.d0, it.d1)
 
@@ -398,6 +462,9 @@ func (it *iteration) sweep() {
 
 		sp = it.obs.Span(it.names[m].gram)
 		it.refreshGrams(m)
+		if it.smp != nil {
+			it.refreshDist(m)
+		}
 		sp.End()
 		it.lastM = M
 	}
@@ -423,6 +490,9 @@ func (it *iteration) loss() float64 {
 	it.ws.Release(mark)
 
 	oldTerm := it.opts.Mu * (it.cTilde + model0Sq - 2*crossOld)
+	// Under the sampled solver lastM is the sketched M̂, so the cross term
+	// — and with it the loss trace and the Tol stop — is an unbiased
+	// estimate; callers wanting the exact loss use LossAgainst.
 	inner := mat.Dot(it.lastM, it.full[n-1])
 	newTerm := it.compNormSq - 2*inner + (modelFullSq - model0Sq)
 

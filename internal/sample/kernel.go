@@ -1,0 +1,176 @@
+package sample
+
+import (
+	"fmt"
+
+	"dismastd/internal/mat"
+	"dismastd/internal/tensor"
+)
+
+// sampledKernel is the mttkrp.Kernel over one sketch: the entries of
+// every matched fiber, counting-sorted by target-mode coordinate into
+// row groups. Every entry of a fiber shares one joint coordinate over
+// the non-target modes — that is what the fiber key packs — so the
+// Sampler precomputes a single weighted Khatri-Rao row per matched
+// fiber (krp) and each entry points at its fiber's row (fid). The
+// accumulation is then R flops per entry instead of a full
+// N·R-factor-row product, and the per-fiber weight lives once in fwts
+// rather than duplicated per entry. Disjoint group ranges still write
+// disjoint rows, and a group's bits depend only on its own entries and
+// the driver-computed krp rows, so the result is bitwise identical at
+// every thread count.
+//
+// Unlike the persistent kernels, a sketch changes every sweep: build
+// rewrites the group arrays in place (buffers are pre-sized by the
+// Sampler to the region's worst case), and the chunk grid is
+// recomputed per call instead of memoised.
+type sampledKernel struct {
+	t    *tensor.Tensor
+	mode int
+	r    int
+
+	ents   []int32    // matched entry ids, grouped by target coordinate
+	fid    []int32    // fiber slot per position, indexing krp rows / fwts
+	krp    *mat.Dense // weight·∘_{k≠mode} factor row, one row per matched fiber
+	fwts   []float64  // aggregated draw weight per matched fiber
+	rows   []int32    // distinct target coordinates, ascending
+	starts []int32    // group g spans [starts[g], starts[g+1])
+	grid   []int32    // chunk-grid scratch, rebuilt per ChunkStarts call
+}
+
+// build regroups the matched (entry, fiber slot) list by target-mode
+// coordinate. counts is Dims[mode]+1 scratch owned by the Sampler. The
+// counting sort is stable, so entries keep the deterministic
+// ascending-key, ascending-draw order the aggregation produced.
+func (k *sampledKernel) build(t *tensor.Tensor, mode, r int, ents, fid []int32, krp *mat.Dense, fwts []float64, counts []int32) {
+	k.t, k.mode, k.r = t, mode, r
+	k.krp, k.fwts = krp, fwts
+	n := t.Order()
+	dim := t.Dims[mode]
+	counts = counts[:dim+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, e := range ents {
+		counts[int(t.Coords[int(e)*n+mode])+1]++
+	}
+	for i := 0; i < dim; i++ {
+		counts[i+1] += counts[i]
+	}
+	k.rows = k.rows[:0]
+	k.starts = k.starts[:0]
+	for i := 0; i < dim; i++ {
+		if counts[i+1] > counts[i] {
+			k.rows = append(k.rows, int32(i))
+			k.starts = append(k.starts, counts[i])
+		}
+	}
+	k.starts = append(k.starts, int32(len(ents)))
+	k.ents = k.ents[:len(ents)]
+	k.fid = k.fid[:len(fid)]
+	// counts[0:dim] now holds each coordinate's group start; reuse it as
+	// the placement cursor (the boundaries live on in rows/starts).
+	for j, e := range ents {
+		c := int(t.Coords[int(e)*n+mode])
+		p := counts[c]
+		k.ents[p] = e
+		k.fid[p] = fid[j]
+		counts[c] = p + 1
+	}
+}
+
+// NNZ reports the number of matched entries the sketch covers.
+func (k *sampledKernel) NNZ() int { return len(k.ents) }
+
+// NumRows returns the number of non-empty row groups.
+func (k *sampledKernel) NumRows() int { return len(k.rows) }
+
+// ModeSize returns the target mode's size — the output row count.
+func (k *sampledKernel) ModeSize() int { return k.t.Dims[k.mode] }
+
+// GroupRow returns the output row of group g.
+func (k *sampledKernel) GroupRow(g int) int32 { return k.rows[g] }
+
+// GroupRange returns the position range [p0, p1) of group g.
+func (k *sampledKernel) GroupRange(g int) (p0, p1 int32) {
+	return k.starts[g], k.starts[g+1]
+}
+
+// EntryCoord returns the mode-kk coordinate of the entry at position p.
+func (k *sampledKernel) EntryCoord(p int32, kk int) int32 {
+	return k.t.Coords[int(k.ents[p])*k.t.Order()+kk]
+}
+
+// EntryVal returns the importance-reweighted value at position p.
+func (k *sampledKernel) EntryVal(p int32) float64 {
+	return k.t.Vals[k.ents[p]] * k.fwts[k.fid[p]]
+}
+
+// Validate panics unless dst and factors match the sketched tensor.
+func (k *sampledKernel) Validate(dst *mat.Dense, factors []*mat.Dense) {
+	t := k.t
+	if len(factors) != t.Order() {
+		panic(fmt.Sprintf("sample: %d factors for order-%d tensor", len(factors), t.Order()))
+	}
+	for m, f := range factors {
+		if f.Rows != t.Dims[m] || f.Cols != k.r {
+			panic(fmt.Sprintf("sample: factor %d is %dx%d, want %dx%d", m, f.Rows, f.Cols, t.Dims[m], k.r))
+		}
+	}
+	if dst.Rows != t.Dims[k.mode] || dst.Cols != k.r {
+		panic(fmt.Sprintf("sample: destination %dx%d, want %dx%d", dst.Rows, dst.Cols, t.Dims[k.mode], k.r))
+	}
+}
+
+// ChunkStarts returns an entry-balanced grid of at most c contiguous
+// group ranges (the layout.Chunker rule), recomputed into a persistent
+// buffer on every call — the group list changes with each sketch, so
+// the memoising Chunker would serve stale grids.
+func (k *sampledKernel) ChunkStarts(c int) []int32 {
+	g := len(k.rows)
+	if c > g {
+		c = g
+	}
+	if c < 1 {
+		c = 1
+	}
+	k.grid = k.grid[:0]
+	k.grid = append(k.grid, 0)
+	total := int64(k.starts[g])
+	gi := 0
+	for i := 1; i < c; i++ {
+		target := int32(total * int64(i) / int64(c))
+		for gi < g && k.starts[gi] < target {
+			gi++
+		}
+		k.grid = append(k.grid, int32(gi))
+	}
+	k.grid = append(k.grid, int32(g))
+	return k.grid
+}
+
+// AccumulateGroups adds the sketched MTTKRP of groups [g0, g1) into
+// dst: each matched entry contributes value·krp[fiber] — the fiber's
+// precomputed weight·∘_{k≠mode} A_k[c_k] row — to its group's
+// accumulator, written back once per row. factors and tmp go unused:
+// the factor products were folded into the krp rows when the sketch
+// was drawn.
+func (k *sampledKernel) AccumulateGroups(dst *mat.Dense, factors []*mat.Dense, g0, g1 int, tmp, acc []float64) {
+	t := k.t
+	for g := g0; g < g1; g++ {
+		for c := range acc {
+			acc[c] = 0
+		}
+		for p := k.starts[g]; p < k.starts[g+1]; p++ {
+			v := t.Vals[k.ents[p]]
+			row := k.krp.Row(int(k.fid[p]))
+			for c := range acc {
+				acc[c] += v * row[c]
+			}
+		}
+		out := dst.Row(int(k.rows[g]))
+		for c := range out {
+			out[c] += acc[c]
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package sample
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dismastd/internal/mat"
+	"dismastd/internal/mttkrp"
+	"dismastd/internal/tensor"
+	"dismastd/internal/xrand"
+)
+
+// drawTag keys the sampler's xrand sub-streams so they can never
+// collide with an engine's factor-initialisation stream, which derives
+// from the same per-step seed.
+const drawTag uint64 = 0x6c65766572616765 // "leverage"
+
+// mixUniform is the uniform mixing fraction of the draw distributions:
+// each row's mass is its leverage score plus mixUniform·Σℓ/I, so every
+// row — and therefore every non-empty fiber — keeps strictly positive
+// probability and the importance weights stay finite.
+const mixUniform = 0.1
+
+// Sampler draws the leverage-score sketches for one region (a full
+// tensor for CP-ALS, a step's complement for DTD, one rank's partition
+// for the distributed driver). Construct once per step with New; all
+// sweep-time state lives in buffers pre-sized there, so a warmed
+// Sample/Refresh round performs zero heap allocations.
+//
+// The draw streams are seeded per (seed, mode, worker) and consumed
+// sequentially on the driving goroutine across the step's sweeps:
+// results do not depend on the thread count, and a distributed rank
+// reproduces its draws exactly on a re-run at the same world size.
+type Sampler struct {
+	t       *tensor.Tensor
+	n, r    int
+	samples int
+
+	idx []*fiberIndex   // per target mode
+	src []*xrand.Source // per target mode draw stream
+
+	// Leverage state, rebuilt by Refresh: cdf[k][i] is the cumulative
+	// (leverage + mixing) mass of rows 0..i of mode k, tot[k] its total.
+	cdf  [][]float64
+	tot  []float64
+	lfac *mat.Dense // Gram Cholesky factor scratch
+	lrow []float64  // triangular-solve scratch
+	lws  *mat.Workspace
+
+	// Per-draw buffers, len == samples.
+	keys  []uint64
+	wts   []float64
+	order []int32
+	srt   drawSorter
+	z     *mat.Dense // √w-scaled Khatri-Rao rows; Ĝ = zᵀz
+
+	// Matched-entry staging and the kernel the accumulator runs. Each
+	// matched fiber gets one precomputed weighted Khatri-Rao row (krp)
+	// and one aggregated weight (fwts); entries reference their fiber
+	// slot through mFid.
+	mEnts  []int32
+	mFid   []int32
+	fwts   []float64
+	krp    *mat.Dense
+	counts []int32 // counting-sort scratch, len maxDim+1
+	kern   sampledKernel
+}
+
+// New builds the sampler for region t. entries optionally restricts
+// each target mode to an explicit entry list (index = mode; nil slice
+// or nil element means every entry) — the distributed driver passes
+// its rank's per-mode partition. samples <= 0 selects DefaultSamples.
+// worker is the distributed rank (0 for centralized engines); it keys
+// the draw streams so each rank sketches independently.
+func New(t *tensor.Tensor, entries [][]int32, rank, samples int, seed uint64, worker int) (*Sampler, error) {
+	if rank <= 0 {
+		return nil, fmt.Errorf("sample: rank must be positive, got %d", rank)
+	}
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	n := t.Order()
+	s := &Sampler{
+		t:       t,
+		n:       n,
+		r:       rank,
+		samples: samples,
+		idx:     make([]*fiberIndex, n),
+		src:     make([]*xrand.Source, n),
+		cdf:     make([][]float64, n),
+		tot:     make([]float64, n),
+		lfac:    mat.New(rank, rank),
+		lrow:    make([]float64, rank),
+		lws:     mat.NewWorkspace(),
+		keys:    make([]uint64, samples),
+		wts:     make([]float64, samples),
+		order:   make([]int32, samples),
+		z:       mat.New(samples, rank),
+	}
+	maxRegion, maxDim := 0, 0
+	for m := 0; m < n; m++ {
+		var list []int32
+		if entries != nil {
+			list = entries[m]
+		}
+		ix, err := newFiberIndex(t, m, list)
+		if err != nil {
+			return nil, err
+		}
+		s.idx[m] = ix
+		if ix.nnz() > maxRegion {
+			maxRegion = ix.nnz()
+		}
+		if t.Dims[m] > maxDim {
+			maxDim = t.Dims[m]
+		}
+		s.src[m] = xrand.Sub(seed, drawTag, uint64(m), uint64(worker))
+		s.cdf[m] = make([]float64, t.Dims[m])
+	}
+	s.mEnts = make([]int32, 0, maxRegion)
+	s.mFid = make([]int32, 0, maxRegion)
+	s.fwts = make([]float64, 0, samples)
+	s.krp = mat.New(samples, rank)
+	s.counts = make([]int32, maxDim+1)
+	s.kern.ents = make([]int32, 0, maxRegion)
+	s.kern.fid = make([]int32, 0, maxRegion)
+	s.kern.rows = make([]int32, 0, maxDim)
+	s.kern.starts = make([]int32, 0, maxDim+1)
+	return s, nil
+}
+
+// Samples returns the per-mode sample count S.
+func (s *Sampler) Samples() int { return s.samples }
+
+// Refresh recomputes mode m's draw distribution from its current
+// factor and Gram — O(I_m·R²), the same class as the Gram refresh the
+// sweep just performed. factor must hold every row of the mode (the
+// distributed driver broadcasts rows under the sampled solver so
+// replicas stay globally fresh); gram is A_mᵀA_m — for the streaming
+// engines the sum of the old-block and growth-block Grams.
+func (s *Sampler) Refresh(m int, factor, gram *mat.Dense) {
+	cdf := s.cdf[m]
+	if factor.Rows != len(cdf) || factor.Cols != s.r {
+		panic(fmt.Sprintf("sample: Refresh mode %d with %dx%d factor, want %dx%d", m, factor.Rows, factor.Cols, len(cdf), s.r))
+	}
+	mat.RidgeCholeskyInto(s.lfac, gram, s.lws)
+	l := s.lfac
+	y := s.lrow
+	total := 0.0
+	for i := 0; i < factor.Rows; i++ {
+		row := factor.Row(i)
+		// ℓ(i) = ‖L⁻¹a_i‖² by forward substitution against the
+		// (ridge-)Cholesky factor of the Gram.
+		for j := 0; j < s.r; j++ {
+			v := row[j]
+			lj := l.Row(j)
+			for k := 0; k < j; k++ {
+				v -= lj[k] * y[k]
+			}
+			y[j] = v / lj[j]
+		}
+		lev := 0.0
+		for _, v := range y {
+			lev += v * v
+		}
+		cdf[i] = lev
+		total += lev
+	}
+	delta := 1.0
+	if total > 0 {
+		delta = mixUniform * total / float64(len(cdf))
+	}
+	cum := 0.0
+	for i, lev := range cdf {
+		cum += lev + delta
+		cdf[i] = cum
+	}
+	s.tot[m] = cum
+}
+
+// Sample draws target mode m's next sketch and fills dst with the
+// sketched MTTKRP M̂ (dst is zeroed first) and gram with the sketched
+// Khatri-Rao Gram Ĝ. factors are the full current factors; pacc and pk
+// are the caller's pooled kernels, so the sketch is chunked across the
+// caller's threads with the usual bitwise-deterministic partitioning.
+// chunkSpan names the accumulator's per-chunk spans (empty for none).
+// It returns the number of matched entries the sketch accumulated.
+func (s *Sampler) Sample(m int, factors []*mat.Dense, pacc *mttkrp.ParAccumulator, pk *mat.ParKernels, dst, gram *mat.Dense, chunkSpan string) int {
+	src := s.src[m]
+	strides := s.idx[m].strides
+	invS := 1.0 / float64(s.samples)
+	for d := 0; d < s.samples; d++ {
+		zrow := s.z.Row(d)
+		for c := range zrow {
+			zrow[c] = 1
+		}
+		key := uint64(0)
+		p := 1.0
+		for k := 0; k < s.n; k++ {
+			if k == m {
+				continue
+			}
+			cdf := s.cdf[k]
+			i := drawCDF(cdf, s.tot[k], src.Float64())
+			p *= probCDF(cdf, s.tot[k], i)
+			key += strides[k] * uint64(i)
+			row := factors[k].Row(i)
+			for c := range zrow {
+				zrow[c] *= row[c]
+			}
+		}
+		w := invS / p
+		s.keys[d] = key
+		s.wts[d] = w
+		s.order[d] = int32(d)
+		sw := math.Sqrt(w)
+		for c := range zrow {
+			zrow[c] *= sw
+		}
+	}
+	pk.GramInto(gram, s.z)
+
+	// Aggregate duplicate draws per distinct key — sorted by (key, draw
+	// index), a strict total order, so the weight sums accumulate in a
+	// deterministic sequence — and gather the matching fibers' entries.
+	// Every entry of a fiber shares the joint coordinate the key packs,
+	// so each matched fiber gets one weight·∘_{k≠m} factor row computed
+	// here (from its first entry's coordinates) that the kernel reuses
+	// for all of the fiber's entries: R flops per entry in the
+	// accumulation instead of the full N·R factor-row product.
+	s.srt.keys, s.srt.order = s.keys, s.order
+	sort.Sort(&s.srt)
+	s.mEnts = s.mEnts[:0]
+	s.mFid = s.mFid[:0]
+	s.fwts = s.fwts[:0]
+	ix := s.idx[m]
+	nf := 0
+	for a := 0; a < s.samples; {
+		key := s.keys[s.order[a]]
+		wsum := s.wts[s.order[a]]
+		b := a + 1
+		for b < s.samples && s.keys[s.order[b]] == key {
+			wsum += s.wts[s.order[b]]
+			b++
+		}
+		if f := ix.find(key); f >= 0 {
+			row := s.krp.Row(nf)
+			for c := range row {
+				row[c] = wsum
+			}
+			base := int(ix.order[ix.starts[f]]) * s.n
+			for k := 0; k < s.n; k++ {
+				if k == m {
+					continue
+				}
+				fr := factors[k].Row(int(s.t.Coords[base+k]))
+				for c := range row {
+					row[c] *= fr[c]
+				}
+			}
+			s.fwts = append(s.fwts, wsum)
+			for p := ix.starts[f]; p < ix.starts[f+1]; p++ {
+				s.mEnts = append(s.mEnts, ix.order[p])
+				s.mFid = append(s.mFid, int32(nf))
+			}
+			nf++
+		}
+		a = b
+	}
+	s.kern.build(s.t, m, s.r, s.mEnts, s.mFid, s.krp, s.fwts, s.counts)
+	dst.Zero()
+	pacc.Accumulate(dst, &s.kern, factors, chunkSpan)
+	return len(s.mEnts)
+}
+
+// drawCDF returns the first index whose cumulative mass exceeds u·tot.
+// Every index carries mass at least the mixing term, so the drawn
+// index always has strictly positive probability.
+func drawCDF(cdf []float64, tot, u float64) int {
+	x := u * tot
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cdf[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// probCDF returns index i's draw probability under the distribution.
+func probCDF(cdf []float64, tot float64, i int) float64 {
+	if i == 0 {
+		return cdf[0] / tot
+	}
+	return (cdf[i] - cdf[i-1]) / tot
+}
+
+// drawSorter sorts the draw permutation by (key, draw index) — a
+// strict total order, so the aggregation walk is deterministic. It is
+// a persistent struct (not a closure sort) to keep the sweep
+// allocation-free.
+type drawSorter struct {
+	keys  []uint64
+	order []int32
+}
+
+func (d *drawSorter) Len() int { return len(d.order) }
+
+func (d *drawSorter) Less(i, j int) bool {
+	a, b := d.order[i], d.order[j]
+	ka, kb := d.keys[a], d.keys[b]
+	if ka != kb {
+		return ka < kb
+	}
+	return a < b
+}
+
+func (d *drawSorter) Swap(i, j int) { d.order[i], d.order[j] = d.order[j], d.order[i] }

@@ -89,6 +89,35 @@ func (s *Source) Split() *Source {
 	return New(s.Uint64())
 }
 
+// mix64 is the splitmix64 finaliser — the avalanche function Uint64
+// applies to its Weyl counter. It is a bijection on uint64.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Derive returns the seed of a sub-stream identified by the given keys
+// (step, mode, rank, ...). Each key is folded through the splitmix64
+// finaliser, so structured nearby keys — (step, step+1), (mode 0, rank
+// 1) vs (mode 1, rank 0) — land in unrelated generator states, unlike
+// raw seed+key arithmetic where neighbouring streams start one Weyl
+// increment apart and share most of their sequence. Folding is
+// left-associative: Derive(s, a, b) == Derive(Derive(s, a), b), so a
+// component holding a derived seed can derive further sub-streams.
+// With no keys the seed is returned unchanged.
+func Derive(seed uint64, keys ...uint64) uint64 {
+	for _, k := range keys {
+		seed = mix64(seed + 0x9e3779b97f4a7c15 + mix64(k))
+	}
+	return seed
+}
+
+// Sub returns a Source seeded for the sub-stream Derive(seed, keys...).
+func Sub(seed uint64, keys ...uint64) *Source {
+	return New(Derive(seed, keys...))
+}
+
 // Zipf samples ranks in [0, n) with probability proportional to
 // 1/(rank+1)^alpha. It precomputes the cumulative distribution so
 // sampling is a binary search; n is expected to be modest (tensor mode

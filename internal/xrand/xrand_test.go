@@ -184,3 +184,81 @@ func BenchmarkZipfDraw(b *testing.B) {
 		_ = z.Draw()
 	}
 }
+
+func TestDeriveDeterministic(t *testing.T) {
+	if Derive(7, 1, 2, 3) != Derive(7, 1, 2, 3) {
+		t.Fatal("Derive is not a pure function")
+	}
+	a, b := Sub(7, 1, 2), Sub(7, 1, 2)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Sub streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDeriveChains(t *testing.T) {
+	if got, want := Derive(9, 4, 5), Derive(Derive(9, 4), 5); got != want {
+		t.Fatalf("Derive(s,a,b)=%#x, Derive(Derive(s,a),b)=%#x", got, want)
+	}
+	if Derive(9) != 9 {
+		t.Fatal("Derive with no keys should return the seed unchanged")
+	}
+}
+
+// TestDeriveKeyOrderMatters: (step, mode, rank) tuples that differ in
+// any position — including transposed values — must yield distinct
+// sub-streams.
+func TestDeriveKeyOrderMatters(t *testing.T) {
+	seen := map[uint64][3]uint64{}
+	for step := uint64(0); step < 8; step++ {
+		for mode := uint64(0); mode < 8; mode++ {
+			for rank := uint64(0); rank < 8; rank++ {
+				d := Derive(42, step, mode, rank)
+				if prev, dup := seen[d]; dup {
+					t.Fatalf("collision: (%d,%d,%d) and %v both derive %#x", step, mode, rank, prev, d)
+				}
+				seen[d] = [3]uint64{step, mode, rank}
+			}
+		}
+	}
+}
+
+// TestDeriveAdjacentStepsDecorrelated is the regression for the ad-hoc
+// seed+step arithmetic Derive replaces: adjacent step keys must not
+// produce overlapping splitmix streams (seed+1 trivially does — its
+// stream is the seed's stream shifted by one output).
+func TestDeriveAdjacentStepsDecorrelated(t *testing.T) {
+	const n = 64
+	outs := map[uint64]bool{}
+	a := Sub(3, 10)
+	for i := 0; i < n; i++ {
+		outs[a.Uint64()] = true
+	}
+	b := Sub(3, 11)
+	for i := 0; i < n; i++ {
+		if outs[b.Uint64()] {
+			t.Fatalf("streams for adjacent step keys share output at position %d", i)
+		}
+	}
+}
+
+// TestDerivePinned pins concrete outputs so the derivation is stable
+// across machines and future refactors: every persisted artifact seeded
+// through Derive depends on these exact values.
+func TestDerivePinned(t *testing.T) {
+	cases := []struct {
+		seed uint64
+		keys []uint64
+		want uint64
+	}{
+		{1, []uint64{0}, 0x910a2dec89025cc1},
+		{1, []uint64{1}, 0x95041e213fd80dfa},
+		{42, []uint64{3, 1, 2}, 0xc2d247eda7ee70cd},
+	}
+	for _, c := range cases {
+		if got := Derive(c.seed, c.keys...); got != c.want {
+			t.Fatalf("Derive(%d,%v)=%#x, want %#x", c.seed, c.keys, got, c.want)
+		}
+	}
+}

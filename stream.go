@@ -10,7 +10,9 @@ import (
 	"dismastd/internal/dtd"
 	"dismastd/internal/layout"
 	"dismastd/internal/partition"
+	"dismastd/internal/sample"
 	"dismastd/internal/tensor"
+	"dismastd/internal/xrand"
 )
 
 // Options configures a streaming decomposer.
@@ -55,6 +57,20 @@ type Options struct {
 	// traffic, never floating-point order.
 	Layout string
 
+	// Solver selects the per-sweep least-squares strategy: "exact" (or
+	// "", the default) runs the full MTTKRP over every entry of the
+	// snapshot region; "sampled" replaces it with a randomized
+	// leverage-score sketch of Samples rows per mode — sublinear in the
+	// region's non-zeros once they dwarf the sketch, at the cost of a
+	// small, Samples-controlled fit gap. Sampled runs are reproducible:
+	// the same seed gives bitwise-identical factors at every thread
+	// count and on repeated runs at the same Workers value.
+	Solver string
+	// Samples is the sketch size S per mode when Solver is "sampled";
+	// 0 selects the default (8192). Larger S tightens the fit gap and
+	// costs proportionally more per sweep.
+	Samples int
+
 	// SweepEvery fires the drift-backstop full ALS sweep automatically
 	// once that many events are pending. 0 (the default) sweeps only on
 	// an explicit Flush, a bulk Ingest, or Save. Bulk-only streams
@@ -81,12 +97,24 @@ func (o Options) withDefaults() (Options, error) {
 	if _, err := layout.ParseKind(o.Layout); err != nil {
 		return o, fmt.Errorf("dismastd: %v", err)
 	}
+	if _, err := sample.ParseKind(o.Solver); err != nil {
+		return o, fmt.Errorf("dismastd: %v", err)
+	}
+	if o.Samples < 0 {
+		return o, fmt.Errorf("dismastd: Samples must be non-negative, got %d", o.Samples)
+	}
 	return o, nil
 }
 
 // layoutKind returns the parsed Layout; call after withDefaults.
 func (o Options) layoutKind() layout.Kind {
 	k, _ := layout.ParseKind(o.Layout)
+	return k
+}
+
+// solverKind returns the parsed Solver; call after withDefaults.
+func (o Options) solverKind() sample.Kind {
+	k, _ := sample.ParseKind(o.Solver)
 	return k
 }
 
@@ -147,6 +175,7 @@ type Stream struct {
 	opts     Options
 	vopts    Options     // resolved once by ensureOpts (never re-validated per call)
 	lk       layout.Kind // parsed once alongside vopts
+	sk       sample.Kind // parsed once alongside vopts
 	optsErr  error
 	optsDone bool
 
@@ -183,6 +212,7 @@ func (s *Stream) ensureOpts() error {
 		s.vopts, s.optsErr = s.opts.withDefaults()
 		if s.optsErr == nil {
 			s.lk = s.vopts.layoutKind()
+			s.sk = s.vopts.solverKind()
 		}
 		s.optsDone = true
 	}
@@ -194,6 +224,7 @@ func (s *Stream) dtdOptions(seed uint64) dtd.Options {
 		Rank: s.vopts.Rank, MaxIters: s.vopts.MaxIters, Tol: s.vopts.Tol,
 		Mu: s.vopts.ForgettingFactor, Seed: seed,
 		Threads: s.vopts.Threads, Layout: s.lk,
+		Solver: s.sk, Samples: s.vopts.Samples,
 	}
 }
 
@@ -204,6 +235,7 @@ func (s *Stream) coreOptions(seed uint64) core.Options {
 		Workers: s.vopts.Workers, Parts: s.vopts.Parts,
 		Method:  partition.Method(s.vopts.Partitioner),
 		Threads: s.vopts.Threads, Layout: s.lk,
+		Solver: s.sk, Samples: s.vopts.Samples,
 	}
 }
 
@@ -326,7 +358,7 @@ func (s *Stream) advance(prev *dtd.State, snapshot *tensor.Tensor) (*StepReport,
 		report.Loss = stats.Loss
 		report.EntriesTouched = snapshot.NNZ()
 	} else if s.vopts.Workers <= 1 {
-		st, stats, err := dtd.Step(prev, snapshot, s.dtdOptions(s.vopts.Seed+uint64(s.step)))
+		st, stats, err := dtd.Step(prev, snapshot, s.dtdOptions(xrand.Derive(s.vopts.Seed, uint64(s.step))))
 		if err != nil {
 			return nil, err
 		}
@@ -338,7 +370,7 @@ func (s *Stream) advance(prev *dtd.State, snapshot *tensor.Tensor) (*StepReport,
 		if s.session == nil {
 			s.session = core.NewSession(s.vopts.Workers)
 		}
-		st, stats, err := s.session.Step(prev, snapshot, s.coreOptions(s.vopts.Seed+uint64(s.step)))
+		st, stats, err := s.session.Step(prev, snapshot, s.coreOptions(xrand.Derive(s.vopts.Seed, uint64(s.step))))
 		if err != nil {
 			return nil, err
 		}
